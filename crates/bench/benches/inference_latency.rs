@@ -1,0 +1,33 @@
+//! Criterion bench behind Fig 13: time to compile + evaluate batch-1
+//! inference for representative benchmarks at each precision (the harness
+//! itself must stay fast enough for design-space exploration, §IV-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapid_arch::geometry::ChipConfig;
+use rapid_arch::precision::Precision;
+use rapid_compiler::passes::{compile, CompileOptions};
+use rapid_model::cost::ModelConfig;
+use rapid_model::inference::evaluate_inference;
+use rapid_workloads::suite::benchmark;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let chip = ChipConfig::rapid_4core();
+    let cfg = ModelConfig::default();
+    let mut g = c.benchmark_group("fig13_inference_model");
+    for name in ["resnet50", "mobilenetv1", "bert"] {
+        let net = benchmark(name).expect("known benchmark");
+        for p in [Precision::Fp16, Precision::Int4] {
+            g.bench_function(BenchmarkId::new(name, p.to_string()), |b| {
+                b.iter(|| {
+                    let plan = compile(&net, &chip, &CompileOptions::for_precision(p));
+                    black_box(evaluate_inference(&net, &plan, &chip, 1, &cfg))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

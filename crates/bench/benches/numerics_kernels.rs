@@ -1,0 +1,41 @@
+//! Criterion bench for the numerics substrate: quantization, FMA pipeline
+//! and chunked accumulation hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rapid_numerics::accumulate::dot_chunked;
+use rapid_numerics::fma::{fma, FmaMode};
+use rapid_numerics::format::FpFormat;
+use std::hint::black_box;
+
+fn bench_numerics(c: &mut Criterion) {
+    let fmt = FpFormat::fp8_e4m3();
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32) * 0.01 - 20.0).collect();
+
+    let mut g = c.benchmark_group("numerics");
+    g.throughput(Throughput::Elements(xs.len() as u64));
+    g.bench_function("quantize_fp8_e4m3_4096", |b| {
+        b.iter(|| {
+            for &x in &xs {
+                black_box(fmt.quantize(black_box(x)));
+            }
+        })
+    });
+    g.bench_function("fma_hfp8_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for &x in &xs {
+                acc = fma(FmaMode::hfp8_fwd_default(), acc, black_box(x), 0.5).acc;
+            }
+            black_box(acc)
+        })
+    });
+    let a: Vec<f32> = xs.iter().map(|&x| fmt.quantize(x * 0.01)).collect();
+    let b2: Vec<f32> = xs.iter().map(|&x| fmt.quantize(0.3 - x * 0.005)).collect();
+    g.bench_function("dot_chunked_hfp8_4096", |b| {
+        b.iter(|| black_box(dot_chunked(FmaMode::hfp8_fwd_default(), &a, &b2, 64)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_numerics);
+criterion_main!(benches);

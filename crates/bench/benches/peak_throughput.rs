@@ -1,0 +1,39 @@
+//! Criterion bench behind Fig 10: emulated-kernel throughput at each
+//! precision, confirming the architected ratios (HFP8 2×, INT4 8× the
+//! FP16 MAC rate) hold in the functional pipelines too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_numerics::fma::FmaMode;
+use rapid_numerics::gemm::{matmul_emulated, matmul_int};
+use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
+use rapid_numerics::Tensor;
+use std::hint::black_box;
+
+fn bench_peak(c: &mut Criterion) {
+    let m = 32;
+    let k = 128;
+    let n = 64;
+    let a = Tensor::random_uniform(vec![m, k], -1.0, 1.0, 1);
+    let b = Tensor::random_uniform(vec![k, n], -1.0, 1.0, 2);
+    let macs = (m * k * n) as u64;
+
+    let mut g = c.benchmark_group("emulated_gemm");
+    g.throughput(Throughput::Elements(macs));
+    g.bench_function(BenchmarkId::new("precision", "fp16"), |bch| {
+        bch.iter(|| matmul_emulated(FmaMode::Fp16, black_box(&a), black_box(&b), 64))
+    });
+    g.bench_function(BenchmarkId::new("precision", "hfp8"), |bch| {
+        bch.iter(|| {
+            matmul_emulated(FmaMode::hfp8_fwd_default(), black_box(&a), black_box(&b), 64)
+        })
+    });
+    let qa = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 1.0);
+    let qb = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 1.0);
+    g.bench_function(BenchmarkId::new("precision", "int4"), |bch| {
+        bch.iter(|| matmul_int(black_box(&a), black_box(&b), qa, qb, 64))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_peak);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench behind E11: ring-simulator throughput for unicast,
+//! multicast and aggregated memory reads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapid_ring::sim::{memory_read, multicast, unicast, RingSim};
+use std::hint::black_box;
+
+fn bench_ring(c: &mut Criterion) {
+    let bytes = 16 * 1024u32;
+    c.bench_function("ring_unicast_16k", |b| {
+        b.iter(|| {
+            let mut sim = RingSim::new(4, 20);
+            unicast(&mut sim, 1, 0, 2, bytes);
+            black_box(sim.run_until_idle(1_000_000).expect("drains"))
+        })
+    });
+    c.bench_function("ring_multicast_16k_3consumers", |b| {
+        b.iter(|| {
+            let mut sim = RingSim::new(4, 20);
+            multicast(&mut sim, 1, 0, &[1, 2, 3], bytes);
+            black_box(sim.run_until_idle(1_000_000).expect("drains"))
+        })
+    });
+    c.bench_function("ring_memory_multicast_16k_4cores", |b| {
+        b.iter(|| {
+            let mut sim = RingSim::new(4, 20);
+            memory_read(&mut sim, 1, &[0, 1, 2, 3], bytes);
+            black_box(sim.run_until_idle(1_000_000).expect("drains"))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind the E9 calibration: cycle-simulating a GEMM vs
+//! evaluating the analytical mapping for the same shape (the model must be
+//! orders of magnitude cheaper — that is why the compiler's DSE uses it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapid_arch::geometry::CoreletConfig;
+use rapid_arch::precision::Precision;
+use rapid_compiler::mapping::map_layer;
+use rapid_numerics::Tensor;
+use rapid_sim::gemm::{CoreSim, GemmJob};
+use rapid_workloads::graph::Op;
+use std::hint::black_box;
+
+fn bench_sim_vs_model(c: &mut Criterion) {
+    let (m, k, n) = (16usize, 128usize, 128usize);
+    let core = CoreSim::rapid();
+    let job = GemmJob {
+        a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, 1),
+        b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, 2),
+        precision: Precision::Fp16,
+    };
+    c.bench_function("cycle_simulator_gemm_16x128x128", |b| {
+        b.iter(|| black_box(core.run_gemm(black_box(&job))))
+    });
+    let op = Op::Gemm { m: m as u64, k: k as u64, n: n as u64, weighted: true };
+    let corelet = CoreletConfig::default();
+    c.bench_function("analytical_mapping_gemm_16x128x128", |b| {
+        b.iter(|| black_box(map_layer(black_box(&op), Precision::Fp16, 1, &corelet, 2)))
+    });
+}
+
+criterion_group!(benches, bench_sim_vs_model);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench behind Fig 15: the training-step evaluator on the
+//! 4 × 32-core system at FP16 and HFP8.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rapid_arch::geometry::SystemConfig;
+use rapid_arch::precision::Precision;
+use rapid_model::cost::ModelConfig;
+use rapid_model::training::evaluate_training;
+use rapid_workloads::suite::benchmark;
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let sys = SystemConfig::training_4x32();
+    let cfg = ModelConfig::default();
+    let mut g = c.benchmark_group("fig15_training_model");
+    for name in ["resnet50", "bert"] {
+        let net = benchmark(name).expect("known benchmark");
+        for p in [Precision::Fp16, Precision::Hfp8] {
+            g.bench_function(BenchmarkId::new(name, p.to_string()), |b| {
+                b.iter(|| black_box(evaluate_training(&net, &sys, p, 512, &cfg)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

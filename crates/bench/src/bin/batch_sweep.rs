@@ -1,0 +1,42 @@
+//! Batch-size sensitivity: the paper fixes inference at batch 1 (§V-A)
+//! because RaPiD's dataflow was designed to keep utilization high there
+//! ("achieve high utilization all the way down to batch size of 1",
+//! §III-A-4). This sweep quantifies that design point: per-input latency
+//! and MPE utilization as the batch grows, for a CNN (already efficient at
+//! batch 1) and the batch-1-hostile LSTM (block-load-bound GEMVs).
+
+use rapid_arch::geometry::ChipConfig;
+use rapid_arch::precision::Precision;
+use rapid_bench::section;
+use rapid_compiler::passes::{compile, CompileOptions};
+use rapid_model::cost::ModelConfig;
+use rapid_model::inference::evaluate_inference;
+use rapid_workloads::suite::benchmark;
+
+fn main() {
+    let chip = ChipConfig::rapid_4core();
+    let cfg = ModelConfig::default();
+    section("batch-size sweep — INT4 inference, per-input latency (µs)");
+    print!("{:<12}", "benchmark");
+    for b in [1u64, 2, 4, 8, 16] {
+        print!(" {:>9}", format!("b={b}"));
+    }
+    println!(" {:>12}", "b16 gain");
+    for name in ["resnet50", "vgg16", "mobilenetv1", "lstm", "bilstm", "bert"] {
+        let net = benchmark(name).expect("known benchmark");
+        let plan = compile(&net, &chip, &CompileOptions::for_precision(Precision::Int4));
+        print!("{name:<12}");
+        let mut per_input = Vec::new();
+        for b in [1u64, 2, 4, 8, 16] {
+            let r = evaluate_inference(&net, &plan, &chip, b, &cfg);
+            let t = r.latency_s * 1e6 / b as f64;
+            per_input.push(t);
+            print!(" {:>9.0}", t);
+        }
+        println!(" {:>11.2}x", per_input[0] / per_input[4]);
+    }
+    println!("\nCNNs gain little (the weight-stationary dataflow already streams H x W at");
+    println!("batch 1); the LSTM's recurrent GEMVs amortize their block-loads and weight");
+    println!("re-fetches across the batch — the reason training (minibatch 512) reaches");
+    println!("far higher utilization than batch-1 inference on the same layers.");
+}

@@ -1,0 +1,64 @@
+//! Experiment E9: calibrate the analytical performance model against the
+//! cycle-approximate core simulator over a GEMM sweep — our analog of the
+//! paper's "performance model ... calibrated to within 1% of the
+//! measurement results" (§V-A).
+
+use rapid_arch::geometry::CoreletConfig;
+use rapid_arch::precision::Precision;
+use rapid_bench::{compare, mean, section};
+use rapid_compiler::mapping::map_layer;
+use rapid_numerics::Tensor;
+use rapid_sim::gemm::{CoreSim, GemmJob};
+use rapid_workloads::graph::Op;
+
+fn main() {
+    section("E9 — analytical model vs cycle simulator (GEMM sweep, 1 core / 2 corelets)");
+    println!(
+        "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10} {:>8}",
+        "prec", "M", "K", "N", "sim cyc", "model cyc", "error"
+    );
+    let core = CoreSim::rapid();
+    let corelet = CoreletConfig::default();
+    let shapes = [
+        (16usize, 128usize, 128usize),
+        (32, 256, 128),
+        (64, 256, 256),
+        (8, 512, 128),
+        (128, 64, 128),
+        (7, 100, 70),
+        (33, 130, 65),
+    ];
+    let mut errors = Vec::new();
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4] {
+            let job = GemmJob {
+                a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, 400 + i as u64),
+                b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, 500 + i as u64),
+                precision: p,
+            };
+            let r = core.run_gemm(&job);
+            let op = Op::Gemm { m: m as u64, k: k as u64, n: n as u64, weighted: true };
+            let predicted = map_layer(&op, p, 1, &corelet, 2).total_cycles();
+            let err = (predicted - r.cycles as f64).abs() / r.cycles as f64;
+            errors.push(err);
+            println!(
+                "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10.0} {:>7.2}%",
+                p.to_string(),
+                m,
+                k,
+                n,
+                r.cycles,
+                predicted,
+                err * 100.0
+            );
+        }
+    }
+    println!();
+    compare(
+        "mean calibration error",
+        format!("{:.2}%", mean(&errors) * 100.0),
+        "the paper's model is within 1% of silicon",
+    );
+    let max = errors.iter().cloned().fold(0.0f64, f64::max);
+    compare("worst-case calibration error", format!("{:.2}%", max * 100.0), "n/a");
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig 4(c): the area/power accounting of the decoupled
+//! FPU/FXU pipelines that justified double-pumping the INT4/INT2 engines.
+
+use rapid_arch::area::MpeAreaModel;
+use rapid_arch::geometry::MpeConfig;
+use rapid_arch::power::EnergyTable;
+use rapid_arch::precision::Precision;
+use rapid_bench::{compare, section};
+
+fn main() {
+    let m = MpeAreaModel::rapid();
+    let e = EnergyTable::rapid_7nm();
+    let mpe = MpeConfig::default();
+
+    section("Fig 4(c) — MPE area/power accounting (FPU pipeline = 1.0)");
+    compare(
+        "INT pipeline area overhead",
+        format!("{:.0}%", (m.total_relative_area() - 1.0) * 100.0),
+        "~16%",
+    );
+    compare("single INT4 engine power vs FP16 pipeline", format!("{:.2}x", m.int4_engine_power), "0.3x");
+    compare(
+        "doubled INT4 engines power vs FP16 pipeline",
+        format!("{:.2}x", m.doubled_int4_power()),
+        "0.6x (enables double pumping)",
+    );
+
+    section("derived per-MPE throughput (consequence of the doubling)");
+    for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4, Precision::Int2] {
+        println!(
+            "  {p}: {:>3} MACs/cycle, {:>5.1} LRF-resident channels, {:.4} pJ/op at 0.55 V",
+            mpe.macs_per_cycle(p),
+            mpe.lrf_ci_depth(p),
+            e.mpe_op_pj(p)
+        );
+    }
+    println!("\nenergy/op ratio int4:fp16 = {:.2} (8x rate at ~0.85x pipeline power)",
+        e.mpe_int4_op_pj / e.mpe_fp16_op_pj);
+}

@@ -1,0 +1,37 @@
+//! Runs every experiment binary's logic in sequence — the single command
+//! that regenerates the whole evaluation (the source of EXPERIMENTS.md).
+//!
+//! `cargo run -p rapid-bench --bin repro_all --release`
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "fig10_chip_table",
+        "fig4c_area_power",
+        "fig13_inference",
+        "fig14_efficiency",
+        "fig15_training",
+        "fig16_throttling",
+        "fig17_breakdown",
+        "fig18_scaling",
+        "calibration",
+        "numerics_validation",
+        "ring_multicast",
+        "int2_future",
+        "ablations",
+        "batch_sweep",
+        "energy_breakdown",
+    ];
+    for bin in bins {
+        let path = dir.join(bin);
+        println!("\n############ {bin} ############");
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall experiments regenerated");
+}

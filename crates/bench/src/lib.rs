@@ -1,0 +1,115 @@
+//! # rapid-bench
+//!
+//! The experiment harness: one binary per table/figure in the paper's
+//! evaluation (run `cargo run -p rapid-bench --bin <name> --release`), plus
+//! Criterion benches under `benches/`. `repro_all` runs every experiment
+//! in sequence — its output is the source of EXPERIMENTS.md.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig10_chip_table` | Fig 10 chip specification table |
+//! | `fig13_inference` | Fig 13 inference latency & speedups |
+//! | `fig14_efficiency` | Fig 14 sustained TOPS/W |
+//! | `fig15_training` | Fig 15 training throughput |
+//! | `fig16_throttling` | Fig 16 sparsity-aware throttling |
+//! | `fig17_breakdown` | Fig 17 INT4 cycle breakdown |
+//! | `fig18_scaling` | Fig 18 core/chip scaling |
+//! | `fig4c_area_power` | Fig 4(c) FPU/FXU area & power accounting |
+//! | `calibration` | §V-A model-calibration claim (E9) |
+//! | `numerics_validation` | §II-B/§II-C numerics claims (E10) |
+//! | `ring_multicast` | Fig 8 multicast protocol (E11) |
+//! | `repro_all` | everything above |
+
+use rapid_arch::precision::Precision;
+use rapid_compiler::passes::{compile, CompileOptions};
+use rapid_model::cost::ModelConfig;
+use rapid_model::inference::{evaluate_inference, InferenceResult};
+use rapid_model::training::{evaluate_training, TrainingResult};
+use rapid_workloads::graph::Network;
+use rapid_workloads::suite::benchmark_suite;
+
+/// Prints a section heading.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a `measured vs paper` comparison line.
+pub fn compare(label: &str, measured: impl std::fmt::Display, paper: &str) {
+    println!("{label:<44} measured: {measured:<18} paper: {paper}");
+}
+
+/// Evaluates one benchmark for batch-1 inference at a precision on the
+/// 4-core chip (optionally at a non-nominal frequency).
+pub fn infer(net: &Network, p: Precision, freq_ghz: Option<f64>) -> InferenceResult {
+    let mut chip = rapid_arch::geometry::ChipConfig::rapid_4core();
+    if let Some(f) = freq_ghz {
+        chip.freq_ghz = f;
+    }
+    let plan = compile(net, &chip, &CompileOptions::for_precision(p));
+    evaluate_inference(net, &plan, &chip, 1, &ModelConfig::default())
+}
+
+/// Evaluates one benchmark for a training step on the 4×32-core system.
+pub fn train_step(net: &Network, p: Precision) -> TrainingResult {
+    let sys = rapid_arch::geometry::SystemConfig::training_4x32();
+    evaluate_training(net, &sys, p, 512, &ModelConfig::default())
+}
+
+/// Runs `f` over the whole suite in parallel, preserving suite order.
+pub fn suite_map<T: Send>(f: impl Fn(&Network) -> T + Sync) -> Vec<(String, T)> {
+    let suite = benchmark_suite();
+    let results = parking_lot::Mutex::new(Vec::new());
+    crossbeam::scope(|s| {
+        for (i, net) in suite.iter().enumerate() {
+            let results = &results;
+            let f = &f;
+            s.spawn(move |_| {
+                let r = f(net);
+                results.lock().push((i, net.name.clone(), r));
+            });
+        }
+    })
+    .expect("worker panicked");
+    let mut v = results.into_inner();
+    v.sort_by_key(|&(i, _, _)| i);
+    v.into_iter().map(|(_, name, r)| (name, r)).collect()
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Minimum and maximum of a slice.
+pub fn min_max(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_map_preserves_order() {
+        let names: Vec<String> =
+            suite_map(|n| n.name.clone()).into_iter().map(|(n, _)| n).collect();
+        let expect: Vec<String> = benchmark_suite().into_iter().map(|n| n.name).collect();
+        assert_eq!(names, expect);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(min_max(&[2.0, -1.0, 5.0]), (-1.0, 5.0));
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

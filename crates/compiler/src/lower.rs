@@ -1,0 +1,207 @@
+//! Lowering: emit the per-unit instruction streams (Fig 4b ISA) that
+//! realize one GEMM tile schedule under the weight-stationary dataflow —
+//! the MPE row program plus the weight/input data-sequencing programs.
+//!
+//! The cycle simulator (`rapid-sim`) executes equivalent sequencer
+//! programs; the tests here pin the lowering's issue counts to the
+//! analytical mapping so all three views of the dataflow stay consistent.
+
+use crate::mapping::{map_layer, MappingCost};
+use rapid_arch::geometry::CoreletConfig;
+use rapid_arch::isa::{MpeInstr, OperandSrc, SeqInstr};
+use rapid_arch::precision::Precision;
+use rapid_workloads::graph::Op;
+use serde::{Deserialize, Serialize};
+
+/// Token gating LRF reuse between the weight loader and the array.
+pub const TOKEN_BLOCK_FREE: u8 = 0;
+
+/// The lowered instruction streams for one corelet's share of a GEMM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoweredGemm {
+    /// The MPE data-processing program (all rows execute it systolically).
+    pub mpe_program: Vec<MpeInstr>,
+    /// The weight sequencer's program (L1 → LRF block loads).
+    pub weight_program: Vec<SeqInstr>,
+    /// The input sequencer's program (L1 → L0 → row streams).
+    pub input_program: Vec<SeqInstr>,
+    /// Total FMMA *issue slots* across the program (Σ `vecs`), which must
+    /// equal the mapping's streaming compute cycles.
+    pub fmma_issue_slots: u64,
+    /// Weight elements block-loaded in total.
+    pub weight_elems: u64,
+}
+
+/// Lowers a `C[m,n] = A[m,k] × B[k,n]` GEMM (one corelet, Co-split share
+/// starting at column 0) to instruction streams.
+///
+/// `a_base`/`b_base` are the operands' element addresses in the L1.
+///
+/// # Panics
+///
+/// Panics on a degenerate GEMM or an SFU-only precision.
+pub fn lower_gemm(
+    m: u64,
+    k: u64,
+    n: u64,
+    precision: Precision,
+    corelet: &CoreletConfig,
+    a_base: u32,
+    b_base: u32,
+) -> LoweredGemm {
+    assert!(m > 0 && k > 0 && n > 0, "degenerate GEMM");
+    let co_tile = u64::from(corelet.co_tile());
+    let ci_lrf = u64::from(corelet.ci_lrf_max(precision));
+    let ci_cyc = u64::from(corelet.ci_tile(precision));
+    let n_tiles = n.div_ceil(co_tile);
+    let n_blocks = k.div_ceil(ci_lrf);
+    let lrf_words_per_block = u8::try_from(
+        (ci_lrf * co_tile * precision.bytes() as u64 / 16).min(255),
+    )
+    .unwrap_or(255);
+
+    let mut mpe = Vec::new();
+    let mut wprog = Vec::new();
+    let mut iprog = Vec::new();
+    let mut fmma_issue_slots = 0u64;
+    let mut weight_elems = 0u64;
+
+    for t in 0..n_tiles {
+        let col = t * co_tile;
+        let width = co_tile.min(n - col);
+        for blk in 0..n_blocks {
+            let ci0 = blk * ci_lrf;
+            let ci_b = (k - ci0).min(ci_lrf);
+            // Weight loader: wait for the LRF, then push the block rows.
+            wprog.push(SeqInstr::WaitToken { token: TOKEN_BLOCK_FREE, count: 1 });
+            for ci in 0..ci_b {
+                wprog.push(SeqInstr::Read {
+                    addr: b_base + u32::try_from((ci0 + ci) * n + col).expect("address fits"),
+                    len: width as u32,
+                    stride: 1,
+                });
+            }
+            weight_elems += ci_b * width;
+            // The MPE program loads the block, then issues one FMMA per
+            // streaming position with `vecs` LRF vectors each.
+            mpe.push(MpeInstr::BlockLoad { lrf_base: 0, words: lrf_words_per_block });
+            let vecs = u8::try_from(ci_b.div_ceil(ci_cyc)).expect("vecs fits in u8");
+            // Input feeder loops over the rows of A for this block.
+            iprog.push(SeqInstr::LoopBegin { count: u32::try_from(m).expect("m fits") });
+            iprog.push(SeqInstr::Read {
+                addr: a_base + u32::try_from(ci0).expect("address fits"),
+                len: ci_b as u32,
+                stride: 1,
+            });
+            iprog.push(SeqInstr::LoopEnd);
+            for _ in 0..m {
+                mpe.push(MpeInstr::Fmma {
+                    precision,
+                    src_a: OperandSrc::West,
+                    src_b: OperandSrc::Lrf,
+                    lrf_base: 0,
+                    vecs,
+                });
+                fmma_issue_slots += u64::from(vecs);
+            }
+        }
+    }
+    LoweredGemm { mpe_program: mpe, weight_program: wprog, input_program: iprog, fmma_issue_slots, weight_elems }
+}
+
+/// Cross-checks a lowering against the analytical mapping for the
+/// single-corelet case; returns the mapping it compared against.
+///
+/// # Panics
+///
+/// Panics if the lowered FMMA issue slots disagree with the mapping's
+/// streaming compute cycles (they are the same quantity by construction).
+pub fn verify_against_mapping(
+    lowered: &LoweredGemm,
+    m: u64,
+    k: u64,
+    n: u64,
+    precision: Precision,
+    corelet: &CoreletConfig,
+) -> MappingCost {
+    let op = Op::Gemm { m, k, n, weighted: true };
+    let cost = map_layer(&op, precision, 1, corelet, 1);
+    assert!(
+        (lowered.fmma_issue_slots as f64 - cost.compute_cycles).abs() < 1e-6,
+        "lowering issues {} slots but the mapping streams {} cycles",
+        lowered.fmma_issue_slots,
+        cost.compute_cycles
+    );
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corelet() -> CoreletConfig {
+        CoreletConfig::default()
+    }
+
+    #[test]
+    fn lowering_matches_mapping_compute_cycles() {
+        for (m, k, n) in [(16u64, 128u64, 128u64), (7, 300, 65), (1, 1500, 6000)] {
+            for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4] {
+                let l = lower_gemm(m, k, n, p, &corelet(), 0, 100_000);
+                let _ = verify_against_mapping(&l, m, k, n, p, &corelet());
+            }
+        }
+    }
+
+    #[test]
+    fn program_structure_counts() {
+        let c = corelet();
+        // k=300 at FP16: LRF holds 128 channels -> 3 blocks; n=100 -> 2 tiles.
+        let l = lower_gemm(4, 300, 100, Precision::Fp16, &c, 0, 5000);
+        let tiles = 2;
+        let blocks = 3;
+        // One BlockLoad + m FMMAs per (tile, block).
+        assert_eq!(l.mpe_program.len(), tiles * blocks * (1 + 4));
+        // Weight program: one wait + ci_b reads per block.
+        let waits = l
+            .weight_program
+            .iter()
+            .filter(|i| matches!(i, SeqInstr::WaitToken { .. }))
+            .count();
+        assert_eq!(waits, tiles * blocks);
+        // Weight elements cover every (k, n) pair exactly once.
+        assert_eq!(l.weight_elems, 300 * 100);
+        // Input program: one loop triple per (tile, block).
+        assert_eq!(l.input_program.len(), tiles * blocks * 3);
+    }
+
+    #[test]
+    fn fmma_vecs_shrink_with_precision() {
+        let c = corelet();
+        let vecs_of = |p| {
+            let l = lower_gemm(1, 128, 64, p, &c, 0, 1000);
+            match l.mpe_program[1] {
+                MpeInstr::Fmma { vecs, .. } => vecs,
+                ref other => panic!("expected FMMA, got {other:?}"),
+            }
+        };
+        // 128 channels per position: FP16 16 issues, HFP8 8, INT4 2.
+        assert_eq!(vecs_of(Precision::Fp16), 16);
+        assert_eq!(vecs_of(Precision::Hfp8), 8);
+        assert_eq!(vecs_of(Precision::Int4), 2);
+    }
+
+    #[test]
+    fn whole_program_encodes_and_decodes() {
+        let l = lower_gemm(3, 200, 70, Precision::Int4, &corelet(), 0, 4000);
+        for i in &l.mpe_program {
+            assert_eq!(MpeInstr::decode(i.encode()), Some(*i), "{i:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate GEMM")]
+    fn zero_dims_panic() {
+        let _ = lower_gemm(0, 8, 8, Precision::Fp16, &corelet(), 0, 0);
+    }
+}

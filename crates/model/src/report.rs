@@ -1,0 +1,195 @@
+//! Per-layer inference reports: the layer-resolution view behind the
+//! aggregate numbers (what the compiler's design-space exploration and the
+//! Fig 17 analysis look at).
+
+use crate::cost::{elem_bytes, sfu_lanes, total_corelets, ModelConfig};
+use rapid_arch::geometry::ChipConfig;
+use rapid_arch::precision::Precision;
+use rapid_compiler::mapping::map_layer;
+use rapid_compiler::plan::NetworkPlan;
+use rapid_workloads::graph::Network;
+use serde::{Deserialize, Serialize};
+
+/// Cost report for one layer of a compiled plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Execution precision.
+    pub precision: Precision,
+    /// MACs (×batch ×repeat).
+    pub macs: u64,
+    /// MPE cycles at the MAC-rate bound.
+    pub ideal_cycles: f64,
+    /// MPE overhead cycles (residue + exposed block-loads/fills + fixed).
+    pub overhead_cycles: f64,
+    /// Quantization cycles on the SFU.
+    pub quant_cycles: f64,
+    /// Auxiliary cycles on the SFU (for aux layers).
+    pub aux_cycles: f64,
+    /// External-memory bytes moved for this layer.
+    pub dram_bytes: f64,
+    /// Whether the layer is memory-bound at this configuration.
+    pub memory_bound: bool,
+    /// MPE-array utilization for compute layers (0 for aux layers).
+    pub utilization: f64,
+}
+
+impl LayerReport {
+    /// Total on-chip cycles attributed to the layer.
+    pub fn total_cycles(&self) -> f64 {
+        self.ideal_cycles + self.overhead_cycles + self.quant_cycles + self.aux_cycles
+    }
+
+    /// One CSV row (matches [`csv_header`]).
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.0},{:.0},{:.0},{:.0},{:.0},{},{:.3}",
+            self.name,
+            self.precision,
+            self.macs,
+            self.ideal_cycles,
+            self.overhead_cycles,
+            self.quant_cycles,
+            self.aux_cycles,
+            self.dram_bytes,
+            self.memory_bound,
+            self.utilization
+        )
+    }
+}
+
+/// Header for [`LayerReport::csv_row`].
+pub fn csv_header() -> &'static str {
+    "layer,precision,macs,ideal_cycles,overhead_cycles,quant_cycles,aux_cycles,dram_bytes,memory_bound,utilization"
+}
+
+/// Produces per-layer reports for a compiled plan at a batch size.
+///
+/// # Panics
+///
+/// Panics if the plan does not match the network.
+pub fn layer_reports(
+    net: &Network,
+    plan: &NetworkPlan,
+    chip: &ChipConfig,
+    batch: u64,
+    cfg: &ModelConfig,
+) -> Vec<LayerReport> {
+    assert_eq!(net.layers.len(), plan.layers.len(), "plan/network mismatch");
+    let n_corelets = total_corelets(chip);
+    let corelet = &chip.core.corelet;
+    let lanes = sfu_lanes(chip);
+    let mut out = Vec::with_capacity(net.layers.len());
+    for (layer, lp) in net.layers.iter().zip(&plan.layers) {
+        let rep = layer.repeat as f64;
+        if !layer.op.is_compute() {
+            out.push(LayerReport {
+                name: layer.name.clone(),
+                precision: Precision::Fp16,
+                macs: 0,
+                ideal_cycles: 0.0,
+                overhead_cycles: 0.0,
+                quant_cycles: 0.0,
+                aux_cycles: layer.aux_lane_cycles() * batch as f64 / lanes
+                    + 0.5 * cfg.per_layer_overhead_cycles * rep,
+                dram_bytes: 0.0,
+                memory_bound: false,
+                utilization: 0.0,
+            });
+            continue;
+        }
+        let m = map_layer(&layer.op, lp.precision, batch, corelet, n_corelets);
+        let exposed = m.compute_cycles
+            + cfg.blockload_exposure * m.blockload_cycles
+            + cfg.fill_exposure * m.fill_cycles;
+        let ideal = m.ideal_cycles * rep;
+        let overhead =
+            (exposed - m.ideal_cycles).max(0.0) * rep + cfg.per_layer_overhead_cycles * rep;
+        let out_elems = layer.op.output_elems() as f64 * rep * batch as f64;
+        let quant = lp.quant.lane_cycles_per_elem() * out_elems / lanes;
+        let w1 = layer.op.weight_elems() as f64 * elem_bytes(lp.precision);
+        let l1_budget = 0.5 * f64::from(chip.cores) * chip.core.l1_bytes as f64;
+        let wbytes = if w1 > l1_budget { w1 * rep } else { w1 };
+        let abytes = if lp.spill_activations {
+            (layer.op.input_elems() + layer.op.output_elems()) as f64
+                * rep
+                * batch as f64
+                * elem_bytes(lp.precision)
+        } else {
+            0.0
+        };
+        let mem_s = (wbytes + abytes) / (chip.mem_bw_gbps * 1e9);
+        let onchip_s = (ideal + overhead + quant) / (lp.effective_ghz * 1e9);
+        out.push(LayerReport {
+            name: layer.name.clone(),
+            precision: lp.precision,
+            macs: layer.macs() * batch,
+            ideal_cycles: ideal,
+            overhead_cycles: overhead,
+            quant_cycles: quant,
+            aux_cycles: 0.0,
+            dram_bytes: wbytes + abytes,
+            memory_bound: mem_s > onchip_s,
+            utilization: m.utilization(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_compiler::passes::{compile, CompileOptions};
+    use rapid_workloads::suite::benchmark;
+
+    fn reports(name: &str, p: Precision) -> Vec<LayerReport> {
+        let net = benchmark(name).unwrap();
+        let chip = ChipConfig::rapid_4core();
+        let plan = compile(&net, &chip, &CompileOptions::for_precision(p));
+        layer_reports(&net, &plan, &chip, 1, &ModelConfig::default())
+    }
+
+    #[test]
+    fn reports_cover_every_layer() {
+        let net = benchmark("resnet50").unwrap();
+        let r = reports("resnet50", Precision::Int4);
+        assert_eq!(r.len(), net.layers.len());
+    }
+
+    #[test]
+    fn layer_reports_sum_to_network_breakdown() {
+        use crate::inference::evaluate_inference;
+        let net = benchmark("resnet50").unwrap();
+        let chip = ChipConfig::rapid_4core();
+        let plan = compile(&net, &chip, &CompileOptions::for_precision(Precision::Int4));
+        let cfg = ModelConfig::default();
+        let agg = evaluate_inference(&net, &plan, &chip, 1, &cfg);
+        let per: f64 = layer_reports(&net, &plan, &chip, 1, &cfg)
+            .iter()
+            .map(LayerReport::total_cycles)
+            .sum();
+        let total = agg.breakdown.total();
+        assert!(
+            (per - total).abs() / total < 1e-9,
+            "per-layer {per} vs aggregate {total}"
+        );
+    }
+
+    #[test]
+    fn first_layer_is_fp16_and_underutilized() {
+        let r = reports("resnet50", Precision::Int4);
+        let first = r.iter().find(|l| l.macs > 0).expect("has compute");
+        assert_eq!(first.precision, Precision::Fp16);
+        assert!(first.utilization < 0.5, "conv1 utilization {}", first.utilization);
+    }
+
+    #[test]
+    fn csv_rows_are_well_formed() {
+        let r = reports("mobilenetv1", Precision::Int4);
+        let cols = csv_header().split(',').count();
+        for row in r.iter().take(5) {
+            assert_eq!(row.csv_row().split(',').count(), cols);
+        }
+    }
+}

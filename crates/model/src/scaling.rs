@@ -1,0 +1,135 @@
+//! Core- and chip-count scaling sweeps (Fig 18).
+
+use crate::cost::ModelConfig;
+use crate::inference::evaluate_inference;
+use crate::training::evaluate_training;
+use rapid_arch::geometry::{ChipConfig, SystemConfig};
+use rapid_arch::precision::Precision;
+use rapid_compiler::passes::{compile, CompileOptions};
+use rapid_workloads::graph::Network;
+use serde::{Deserialize, Serialize};
+
+/// One point of a scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Scaled resource count (cores or chips).
+    pub count: u32,
+    /// Speedup relative to the count-1 configuration.
+    pub speedup: f64,
+    /// Absolute throughput (inputs/s).
+    pub throughput: f64,
+}
+
+/// Fig 18(a): INT4 batch-1 inference speedup as the core count scales,
+/// with the external memory bandwidth held fixed (paper: "we fixed the
+/// external bandwidth even as we scale the number of cores").
+pub fn inference_core_scaling(net: &Network, counts: &[u32], cfg: &ModelConfig) -> Vec<ScalePoint> {
+    let mut points = Vec::with_capacity(counts.len());
+    let mut base = None;
+    for &cores in counts {
+        let chip = ChipConfig::rapid_4core().with_cores(cores);
+        let plan = compile(net, &chip, &CompileOptions::for_precision(Precision::Int4));
+        let r = evaluate_inference(net, &plan, &chip, 1, cfg);
+        let base_latency = *base.get_or_insert(r.latency_s);
+        points.push(ScalePoint {
+            count: cores,
+            speedup: base_latency / r.latency_s,
+            throughput: r.throughput_per_s,
+        });
+    }
+    points
+}
+
+/// Fig 18(b): HFP8 training speedup as the chip count scales at a fixed
+/// global minibatch and fixed 128 GBps chip-to-chip bandwidth.
+pub fn training_chip_scaling(
+    net: &Network,
+    counts: &[u32],
+    minibatch: u64,
+    cfg: &ModelConfig,
+) -> Vec<ScalePoint> {
+    let mut points = Vec::with_capacity(counts.len());
+    let mut base = None;
+    for &chips in counts {
+        let sys = SystemConfig::training_4x32().with_chips(chips);
+        let r = evaluate_training(net, &sys, Precision::Hfp8, minibatch, cfg);
+        let base_rate = *base.get_or_insert(r.inputs_per_s);
+        points.push(ScalePoint {
+            count: chips,
+            speedup: r.inputs_per_s / base_rate,
+            throughput: r.inputs_per_s,
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_workloads::suite::benchmark;
+
+    #[test]
+    fn compute_heavy_nets_scale_to_32_cores() {
+        // Fig 18a: "Compute-intensive benchmarks like VGG16, Resnet50,
+        // Yolov3, SSD300 show performance improvement even as we scale to
+        // 32 cores."
+        for name in ["vgg16", "resnet50", "yolov3", "ssd300"] {
+            let net = benchmark(name).unwrap();
+            let pts =
+                inference_core_scaling(&net, &[1, 2, 4, 8, 16, 32], &ModelConfig::default());
+            assert!(
+                pts[5].speedup > pts[4].speedup,
+                "{name}: no gain from 16→32 cores: {pts:?}"
+            );
+        }
+        let net = benchmark("resnet50").unwrap();
+        let pts = inference_core_scaling(&net, &[1, 32], &ModelConfig::default());
+        assert!(pts[1].speedup > 8.0, "resnet50 32-core speedup {}", pts[1].speedup);
+    }
+
+    #[test]
+    fn aux_and_memory_dominated_nets_saturate() {
+        // Fig 18a: aux-dominated (MobileNetV1) and memory-stall-dominated
+        // (LSTM) benchmarks saturate; their marginal gain from 16→32 cores
+        // is well below a compute-heavy network's.
+        let cfg = ModelConfig::default();
+        let marginal = |name: &str| {
+            let net = benchmark(name).unwrap();
+            let pts = inference_core_scaling(&net, &[16, 32], &cfg);
+            pts[1].speedup
+        };
+        let yolo = marginal("yolov3");
+        assert!(marginal("mobilenetv1") < yolo, "mobilenet should trail yolov3");
+        assert!(marginal("lstm") < yolo, "lstm should trail yolov3");
+        assert!(marginal("lstm") < 1.15, "lstm 16→32 gain {}", marginal("lstm"));
+    }
+
+    #[test]
+    fn speedup_is_monotone_nondecreasing_for_resnet() {
+        let net = benchmark("resnet50").unwrap();
+        let pts = inference_core_scaling(&net, &[1, 2, 4, 8, 16, 32], &ModelConfig::default());
+        for w in pts.windows(2) {
+            assert!(w[1].speedup >= w[0].speedup * 0.95, "{:?}", pts);
+        }
+    }
+
+    #[test]
+    fn training_scales_with_chips_but_sublinearly() {
+        let net = benchmark("resnet50").unwrap();
+        let pts = training_chip_scaling(&net, &[1, 2, 4, 8, 16, 32], 512, &ModelConfig::default());
+        let s32 = pts.last().unwrap().speedup;
+        assert!(s32 > 3.0, "32-chip speedup {s32}");
+        assert!(s32 < 32.0, "32-chip speedup {s32} should be sublinear");
+    }
+
+    #[test]
+    fn comm_heavy_vgg_saturates_earlier_than_resnet() {
+        // VGG16's 138 M weights make the update-phase exchange dominate.
+        let cfg = ModelConfig::default();
+        let vgg = benchmark("vgg16").unwrap();
+        let res = benchmark("resnet50").unwrap();
+        let v = training_chip_scaling(&vgg, &[1, 32], 512, &cfg);
+        let r = training_chip_scaling(&res, &[1, 32], 512, &cfg);
+        assert!(v[1].speedup < r[1].speedup, "vgg {} resnet {}", v[1].speedup, r[1].speedup);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error types for the numerics crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by fallible numerics operations.
+///
+/// # Example
+///
+/// ```
+/// use rapid_numerics::tensor::Tensor;
+///
+/// let a = Tensor::zeros(vec![2, 3]);
+/// let b = Tensor::zeros(vec![4, 5]);
+/// let err = rapid_numerics::gemm::matmul_f32_checked(&a, &b).unwrap_err();
+/// assert!(err.to_string().contains("shape"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NumericsError {
+    /// Tensor shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the expected shapes.
+        expected: String,
+        /// Human-readable description of the shapes that were provided.
+        actual: String,
+    },
+    /// A format parameter is out of the supported range.
+    InvalidFormat(String),
+    /// A value cannot be represented (e.g. quantization of NaN where the
+    /// target format has no NaN encoding).
+    Unrepresentable(String),
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::ShapeMismatch { expected, actual } => {
+                write!(f, "tensor shape mismatch: expected {expected}, got {actual}")
+            }
+            NumericsError::InvalidFormat(msg) => write!(f, "invalid number format: {msg}"),
+            NumericsError::Unrepresentable(msg) => write!(f, "unrepresentable value: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = NumericsError::InvalidFormat("exponent bits must be 2..=8".into());
+        let s = e.to_string();
+        assert!(s.starts_with("invalid number format"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

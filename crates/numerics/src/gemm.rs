@@ -1,0 +1,443 @@
+//! Emulated GEMM and convolution kernels for every RaPiD precision.
+//!
+//! These kernels compute what the MPE array computes — including input
+//! quantization, on-the-fly operand conversion, chunked accumulation and
+//! zero-gating — and report datapath statistics used by the power model.
+//! They are *functional* models; timing lives in `rapid-model` (analytical)
+//! and `rapid-sim` (cycle-approximate).
+
+use crate::accumulate::ChunkAccumulator;
+use crate::fma::FmaMode;
+use crate::int::{IntAccumulator, QuantParams};
+use crate::tensor::Tensor;
+use crate::NumericsError;
+
+/// Datapath statistics gathered while executing an emulated kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GemmStats {
+    /// Total multiply-accumulate operations issued.
+    pub macs: u64,
+    /// MACs bypassed by the zero-gating logic.
+    pub zero_gated: u64,
+    /// INT16 chunk-register saturations (integer modes only; zero for
+    /// hardware-legal chunk lengths).
+    pub saturations: u64,
+}
+
+impl GemmStats {
+    /// Fraction of MACs that were zero-gated.
+    pub fn gated_fraction(&self) -> f64 {
+        if self.macs == 0 {
+            0.0
+        } else {
+            self.zero_gated as f64 / self.macs as f64
+        }
+    }
+
+    /// Merges statistics from another kernel invocation.
+    pub fn merge(&mut self, other: GemmStats) {
+        self.macs += other.macs;
+        self.zero_gated += other.zero_gated;
+        self.saturations += other.saturations;
+    }
+}
+
+fn check_matmul_shapes(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), NumericsError> {
+    if a.shape().len() != 2 || b.shape().len() != 2 || a.shape()[1] != b.shape()[0] {
+        return Err(NumericsError::ShapeMismatch {
+            expected: "a [m,k] × b [k,n]".to_string(),
+            actual: format!("a {:?} × b {:?}", a.shape(), b.shape()),
+        });
+    }
+    Ok((a.shape()[0], a.shape()[1], b.shape()[1]))
+}
+
+/// Reference FP32 matrix multiply `[m,k] × [k,n] → [m,n]`.
+///
+/// # Panics
+///
+/// Panics if the shapes are not compatible rank-2 matrices.
+pub fn matmul_f32(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_f32_checked(a, b).expect("incompatible matmul shapes")
+}
+
+/// Reference FP32 matrix multiply, returning an error on bad shapes.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] if the operands are not
+/// `[m,k]` and `[k,n]` matrices.
+pub fn matmul_f32_checked(a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
+    let (m, k, n) = check_matmul_shapes(a, b)?;
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = Tensor::zeros(vec![m, n]);
+    let od = out.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += f64::from(ad[i * k + p]) * f64::from(bd[p * n + j]);
+            }
+            od[i * n + j] = acc as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// Emulated floating-point matrix multiply through the MPE FPU pipeline:
+/// inputs are quantized to the mode's operand formats, multiplied through
+/// the internal representation, and chunk-accumulated.
+///
+/// `chunk_len` is the MPE-level accumulation chunk (64 matches the
+/// dataflow's LRF reload interval).
+///
+/// # Panics
+///
+/// Panics if the shapes are not compatible or `chunk_len == 0`.
+pub fn matmul_emulated(mode: FmaMode, a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
+    let (m, k, n) = check_matmul_shapes(a, b).expect("incompatible matmul shapes");
+    let (fa, fb) = mode.operand_formats();
+    let qa: Vec<f32> = a.as_slice().iter().map(|&x| fa.quantize(x)).collect();
+    let qb: Vec<f32> = b.as_slice().iter().map(|&x| fb.quantize(x)).collect();
+    let mut out = Tensor::zeros(vec![m, n]);
+    let od = out.as_mut_slice();
+    let mut stats = GemmStats::default();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = ChunkAccumulator::new(mode, chunk_len);
+            for p in 0..k {
+                acc.mac(qa[i * k + p], qb[p * n + j]);
+            }
+            stats.macs += acc.macs();
+            stats.zero_gated += acc.zero_gated();
+            od[i * n + j] = acc.finish();
+        }
+    }
+    (out, stats)
+}
+
+/// FP16 (DLFloat) matrix multiply with chunked accumulation.
+pub fn matmul_fp16(a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
+    matmul_emulated(FmaMode::Fp16, a, b, chunk_len)
+}
+
+/// HFP8 forward-pass matrix multiply: both operands FP8 (1,4,3), default
+/// bias.
+pub fn matmul_hfp8_fwd(a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
+    matmul_emulated(FmaMode::hfp8_fwd_default(), a, b, chunk_len)
+}
+
+/// HFP8 backward-pass matrix multiply: operand `a` FP8 (1,4,3), operand `b`
+/// FP8 (1,5,2).
+pub fn matmul_hfp8_bwd(a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
+    matmul_emulated(FmaMode::hfp8_bwd_default(), a, b, chunk_len)
+}
+
+/// Quantized integer matrix multiply through the FXU pipeline: inputs are
+/// quantized with the given per-tensor parameters, multiplied as integer
+/// codes with INT16-chunk/INT32 accumulation, and the result dequantized by
+/// the product of scales.
+///
+/// # Panics
+///
+/// Panics if the shapes are not compatible or `chunk_len == 0`.
+pub fn matmul_int(
+    a: &Tensor,
+    b: &Tensor,
+    qa: QuantParams,
+    qb: QuantParams,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
+    let (m, k, n) = check_matmul_shapes(a, b).expect("incompatible matmul shapes");
+    let ca: Vec<i8> = a.as_slice().iter().map(|&x| qa.quantize(x)).collect();
+    let cb: Vec<i8> = b.as_slice().iter().map(|&x| qb.quantize(x)).collect();
+    let out_scale = qa.scale() * qb.scale();
+    let mut out = Tensor::zeros(vec![m, n]);
+    let od = out.as_mut_slice();
+    let mut stats = GemmStats::default();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = IntAccumulator::new(chunk_len);
+            for p in 0..k {
+                acc.mac(ca[i * k + p], cb[p * n + j]);
+            }
+            stats.macs += acc.macs();
+            stats.zero_gated += acc.zero_gated();
+            stats.saturations += acc.saturations();
+            od[i * n + j] = acc.finish() as f32 * out_scale;
+        }
+    }
+    (out, stats)
+}
+
+/// Convolution geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub pad: usize,
+}
+
+impl ConvSpec {
+    /// Unit-stride, zero-pad convolution.
+    pub fn unit() -> Self {
+        Self { stride: 1, pad: 0 }
+    }
+
+    /// Output spatial size for an input of size `h` and kernel `k`.
+    pub fn out_dim(&self, h: usize, k: usize) -> usize {
+        (h + 2 * self.pad).saturating_sub(k) / self.stride + 1
+    }
+}
+
+/// Lowers an `[n, ci, h, w]` input into the `[n*ho*wo, ci*kh*kw]` im2col
+/// matrix for a `[co, ci, kh, kw]` kernel — the transformation RaPiD's
+/// dataflow performs implicitly when streaming H×W innermost (Fig 5).
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
+    assert_eq!(input.shape().len(), 4, "im2col expects [n, c, h, w]");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let ho = spec.out_dim(h, kh);
+    let wo = spec.out_dim(w, kw);
+    let mut out = Tensor::zeros(vec![n * ho * wo, c * kh * kw]);
+    let cols = c * kh * kw;
+    let od = out.as_mut_slice();
+    for ni in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = (ni * ho + oy) * wo + ox;
+                for ci in 0..c {
+                    for ky in 0..kh {
+                        for kx in 0..kw {
+                            let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                            let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
+                            let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
+                            {
+                                input.get(&[ni, ci, iy as usize, ix as usize])
+                            } else {
+                                0.0
+                            };
+                            od[row * cols + (ci * kh + ky) * kw + kx] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Reference FP32 convolution: input `[n, ci, h, w]`, weight
+/// `[co, ci, kh, kw]` → output `[n, co, ho, wo]`.
+///
+/// # Panics
+///
+/// Panics if the operand ranks or channel counts are inconsistent.
+pub fn conv2d_f32(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    let out = conv2d_via_gemm(input, weight, spec, |cols, wmat| (matmul_f32(cols, wmat), GemmStats::default()));
+    out.0
+}
+
+/// Emulated floating-point convolution through the FPU pipeline.
+pub fn conv2d_emulated(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    mode: FmaMode,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
+    conv2d_via_gemm(input, weight, spec, |cols, wmat| {
+        matmul_emulated(mode, cols, wmat, chunk_len)
+    })
+}
+
+/// Emulated integer convolution through the FXU pipeline.
+pub fn conv2d_int(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    qa: QuantParams,
+    qw: QuantParams,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
+    conv2d_via_gemm(input, weight, spec, |cols, wmat| {
+        matmul_int(cols, wmat, qa, qw, chunk_len)
+    })
+}
+
+fn conv2d_via_gemm(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    mm: impl Fn(&Tensor, &Tensor) -> (Tensor, GemmStats),
+) -> (Tensor, GemmStats) {
+    assert_eq!(input.shape().len(), 4, "conv input must be [n, ci, h, w]");
+    assert_eq!(weight.shape().len(), 4, "conv weight must be [co, ci, kh, kw]");
+    assert_eq!(
+        input.shape()[1],
+        weight.shape()[1],
+        "input channel count must match weight"
+    );
+    let (n, _ci, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (co, ci, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    let ho = spec.out_dim(h, kh);
+    let wo = spec.out_dim(w, kw);
+    let cols = im2col(input, kh, kw, spec);
+    let wmat = weight
+        .clone()
+        .reshape(vec![co, ci * kh * kw])
+        .expect("weight reshape is size-preserving")
+        .transposed();
+    let (flat, stats) = mm(&cols, &wmat); // [n*ho*wo, co]
+    // Rearrange [n*ho*wo, co] -> [n, co, ho, wo].
+    let mut out = Tensor::zeros(vec![n, co, ho, wo]);
+    for ni in 0..n {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let row = (ni * ho + oy) * wo + ox;
+                for c in 0..co {
+                    out.set(&[ni, c, oy, ox], flat.get(&[row, c]));
+                }
+            }
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::int::{IntFormat, Signedness};
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Tensor {
+        Tensor::random_uniform(vec![m, n], -1.0, 1.0, seed)
+    }
+
+    #[test]
+    fn f32_matmul_identity() {
+        let a = rand_mat(4, 4, 1);
+        let eye = Tensor::from_fn(vec![4, 4], |i| if i % 5 == 0 { 1.0 } else { 0.0 });
+        assert_eq!(matmul_f32(&a, &eye), a);
+    }
+
+    #[test]
+    fn emulated_fp16_close_to_f32() {
+        let a = rand_mat(8, 32, 2);
+        let b = rand_mat(32, 8, 3);
+        let exact = matmul_f32(&a, &b);
+        let (got, stats) = matmul_fp16(&a, &b, 64);
+        assert_eq!(stats.macs, 8 * 32 * 8);
+        assert!(got.max_rel_diff(&exact) < 5e-3, "diff {}", got.max_rel_diff(&exact));
+    }
+
+    #[test]
+    fn emulated_hfp8_close_to_f32() {
+        let a = rand_mat(8, 64, 4);
+        let b = rand_mat(64, 8, 5);
+        let exact = matmul_f32(&a, &b);
+        let (fwd, _) = matmul_hfp8_fwd(&a, &b, 64);
+        let (bwd, _) = matmul_hfp8_bwd(&a, &b, 64);
+        // 3-bit / 2-bit mantissas: coarse but correlated.
+        assert!(fwd.max_rel_diff(&exact) < 0.08, "fwd diff {}", fwd.max_rel_diff(&exact));
+        assert!(bwd.max_rel_diff(&exact) < 0.15, "bwd diff {}", bwd.max_rel_diff(&exact));
+    }
+
+    #[test]
+    fn int4_matmul_close_to_f32_for_uniform_data() {
+        let a = rand_mat(8, 64, 6);
+        let b = rand_mat(64, 8, 7);
+        let qa = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, a.max_abs());
+        let qb = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, b.max_abs());
+        let exact = matmul_f32(&a, &b);
+        let (got, stats) = matmul_int(&a, &b, qa, qb, 64, );
+        assert_eq!(stats.saturations, 0);
+        assert!(got.max_rel_diff(&exact) < 0.25, "diff {}", got.max_rel_diff(&exact));
+    }
+
+    #[test]
+    fn zero_gating_stats_reflect_sparsity() {
+        let mut a = rand_mat(4, 32, 8);
+        // Zero half of A's entries.
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 2 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = rand_mat(32, 4, 9);
+        let (_, stats) = matmul_fp16(&a, &b, 64);
+        let frac = stats.gated_fraction();
+        assert!((frac - 0.5).abs() < 0.05, "gated fraction {frac}");
+    }
+
+    #[test]
+    fn checked_matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 5]);
+        assert!(matmul_f32_checked(&a, &b).is_err());
+    }
+
+    #[test]
+    fn conv_matches_direct_computation() {
+        // 1x1x3x3 input, 1x1x2x2 kernel, stride 1 pad 0.
+        let input = Tensor::from_vec(vec![1, 1, 3, 3], (1..=9).map(|x| x as f32).collect());
+        let weight = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let out = conv2d_f32(&input, &weight, ConvSpec::unit());
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        // out[y][x] = in[y][x] + in[y+1][x+1]
+        assert_eq!(out.get(&[0, 0, 0, 0]), 1.0 + 5.0);
+        assert_eq!(out.get(&[0, 0, 0, 1]), 2.0 + 6.0);
+        assert_eq!(out.get(&[0, 0, 1, 0]), 4.0 + 8.0);
+        assert_eq!(out.get(&[0, 0, 1, 1]), 5.0 + 9.0);
+    }
+
+    #[test]
+    fn conv_with_padding_and_stride() {
+        let input = Tensor::random_uniform(vec![2, 3, 8, 8], -1.0, 1.0, 10);
+        let weight = Tensor::random_uniform(vec![4, 3, 3, 3], -0.5, 0.5, 11);
+        let spec = ConvSpec { stride: 2, pad: 1 };
+        let out = conv2d_f32(&input, &weight, spec);
+        assert_eq!(out.shape(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn emulated_conv_tracks_reference() {
+        let input = Tensor::random_uniform(vec![1, 4, 6, 6], -1.0, 1.0, 12);
+        let weight = Tensor::random_uniform(vec![8, 4, 3, 3], -0.5, 0.5, 13);
+        let exact = conv2d_f32(&input, &weight, ConvSpec::unit());
+        let (fp16, stats) = conv2d_emulated(&input, &weight, ConvSpec::unit(), FmaMode::Fp16, 64);
+        assert_eq!(stats.macs as usize, 8 * 4 * 4 * 3 * 3 * 4);
+        assert!(fp16.max_rel_diff(&exact) < 1e-2);
+    }
+
+    #[test]
+    fn int_conv_runs_without_saturation() {
+        let input = Tensor::random_uniform(vec![1, 8, 6, 6], 0.0, 1.0, 14);
+        let weight = Tensor::random_uniform(vec![8, 8, 3, 3], -0.5, 0.5, 15);
+        let qa = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Unsigned, 1.0);
+        let qw = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 0.5);
+        let (out, stats) = conv2d_int(&input, &weight, ConvSpec::unit(), qa, qw, 64);
+        assert_eq!(out.shape(), &[1, 8, 4, 4]);
+        assert_eq!(stats.saturations, 0);
+        let exact = conv2d_f32(&input, &weight, ConvSpec::unit());
+        assert!(out.max_rel_diff(&exact) < 0.3);
+    }
+}

@@ -1,0 +1,196 @@
+//! Concrete newtypes for RaPiD's floating-point formats.
+//!
+//! Each type stores the raw encoded bits of one value, giving the storage
+//! cost the hardware pays (1/2 bytes) while delegating arithmetic semantics
+//! to [`FpFormat`]. These types are what the cycle simulator moves through
+//! scratchpads and links.
+
+use crate::format::FpFormat;
+
+macro_rules! fp_newtype {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $fmt:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name($repr);
+
+        impl $name {
+            /// The format this type encodes.
+            pub fn format() -> FpFormat {
+                $fmt
+            }
+
+            /// Quantizes `x` to this format and stores the encoded bits.
+            pub fn from_f32(x: f32) -> Self {
+                Self(Self::format().encode(x) as $repr)
+            }
+
+            /// Decodes back to `f32` (always exact).
+            pub fn to_f32(self) -> f32 {
+                Self::format().decode(self.0 as u32)
+            }
+
+            /// Raw encoded bits.
+            pub fn to_bits(self) -> $repr {
+                self.0
+            }
+
+            /// Constructs from raw encoded bits.
+            pub fn from_bits(bits: $repr) -> Self {
+                Self(bits)
+            }
+
+            /// Whether the stored value is zero (either sign) — the
+            /// condition the MPE zero-gating logic tests.
+            pub fn is_zero(self) -> bool {
+                self.to_f32() == 0.0
+            }
+        }
+
+        impl From<f32> for $name {
+            fn from(x: f32) -> Self {
+                Self::from_f32(x)
+            }
+        }
+
+        impl From<$name> for f32 {
+            fn from(v: $name) -> f32 {
+                v.to_f32()
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+    };
+}
+
+fp_newtype!(
+    /// IBM DLFloat16 (1,6,9): the PE-array native format; all lower-precision
+    /// pipelines produce FP16 results so auxiliary ops keep accuracy.
+    ///
+    /// ```
+    /// use rapid_numerics::Fp16;
+    /// let x = Fp16::from_f32(0.1);
+    /// assert!((x.to_f32() - 0.1).abs() < 1e-3);
+    /// ```
+    Fp16,
+    u16,
+    FpFormat::fp16()
+);
+
+fp_newtype!(
+    /// HFP8 forward-pass format FP8 (1,4,3) with the default bias.
+    ///
+    /// For a layer-specific programmable bias, operate through
+    /// [`FpFormat::fp8_e4m3_with_bias`] instead.
+    ///
+    /// ```
+    /// use rapid_numerics::Fp8E4M3;
+    /// assert_eq!(Fp8E4M3::from_f32(3.14).to_f32(), 3.25);
+    /// ```
+    Fp8E4M3,
+    u8,
+    FpFormat::fp8_e4m3()
+);
+
+fp_newtype!(
+    /// HFP8 backward-pass format FP8 (1,5,2), used for error tensors that
+    /// need a larger dynamic range.
+    ///
+    /// ```
+    /// use rapid_numerics::Fp8E5M2;
+    /// assert_eq!(Fp8E5M2::from_f32(6.1).to_f32(), 6.0);
+    /// ```
+    Fp8E5M2,
+    u8,
+    FpFormat::fp8_e5m2()
+);
+
+fp_newtype!(
+    /// The internal 9-bit (1,5,3) representation both FP8 flavours are
+    /// converted to on the fly inside the FPU datapath (paper §III-A).
+    ///
+    /// ```
+    /// use rapid_numerics::{Fp8E4M3, Fp8E5M2, Fp9};
+    /// // Both FP8 formats convert to FP9 losslessly.
+    /// let a = Fp8E4M3::from_f32(1.75);
+    /// assert_eq!(Fp9::from_f32(a.to_f32()).to_f32(), a.to_f32());
+    /// let b = Fp8E5M2::from_f32(1.5);
+    /// assert_eq!(Fp9::from_f32(b.to_f32()).to_f32(), b.to_f32());
+    /// ```
+    Fp9,
+    u16,
+    FpFormat::fp9()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_exact_for_representable_values() {
+        for v in Fp8E4M3::format().positive_values() {
+            assert_eq!(Fp8E4M3::from_f32(v).to_f32(), v);
+        }
+        for v in Fp8E5M2::format().positive_values() {
+            assert_eq!(Fp8E5M2::from_f32(v).to_f32(), v);
+        }
+    }
+
+    /// The paper's on-the-fly conversion claim: (1,5,3) can hold any
+    /// (1,4,3)-default-bias or (1,5,2) value exactly — that is why a single
+    /// FP9 datapath suffices for both HFP8 operand flavours.
+    #[test]
+    fn fp9_exactly_contains_both_fp8_formats() {
+        let fp9 = FpFormat::fp9();
+        for v in FpFormat::fp8_e4m3().positive_values() {
+            assert_eq!(fp9.quantize(v), v, "e4m3 value {v} not exact in fp9");
+        }
+        for v in FpFormat::fp8_e5m2().positive_values() {
+            assert_eq!(fp9.quantize(v), v, "e5m2 value {v} not exact in fp9");
+        }
+    }
+
+    /// Programmable bias shifts the e4m3 value set by powers of two; FP9
+    /// with its wider exponent absorbs biases near the default exactly.
+    #[test]
+    fn fp9_contains_biased_e4m3_within_exponent_budget() {
+        for bias in 4..=10 {
+            let fmt = FpFormat::fp8_e4m3_with_bias(bias).unwrap();
+            let fp9 = FpFormat::fp9();
+            let mut contained = 0usize;
+            let vals = fmt.positive_values();
+            for v in &vals {
+                if fp9.quantize(*v) == *v {
+                    contained += 1;
+                }
+            }
+            // All values inside FP9's range are exact; extreme biases push
+            // part of the range outside, which the hardware handles by
+            // configuring the accumulation scaling.
+            assert!(contained as f32 / vals.len() as f32 > 0.9, "bias {bias}");
+        }
+    }
+
+    #[test]
+    fn is_zero_matches_value() {
+        assert!(Fp8E4M3::from_f32(0.0).is_zero());
+        assert!(!Fp8E4M3::from_f32(0.5).is_zero());
+        // Values that quantize to zero are gated too.
+        assert!(Fp8E4M3::from_f32(1e-9).is_zero());
+    }
+
+    #[test]
+    fn storage_width_matches_hardware() {
+        assert_eq!(std::mem::size_of::<Fp16>(), 2);
+        assert_eq!(std::mem::size_of::<Fp8E4M3>(), 1);
+        assert_eq!(std::mem::size_of::<Fp8E5M2>(), 1);
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(Fp16::from_f32(1.5).to_string(), "1.5");
+    }
+}

@@ -1,0 +1,100 @@
+//! Magnitude pruning, used to produce the sparse models the
+//! sparsity-aware throttling study consumes (paper §V-D, refs [55–58]).
+
+use rapid_numerics::Tensor;
+
+/// Zeroes the smallest-magnitude fraction `sparsity` of a weight tensor,
+/// returning the pruned tensor and the sparsity actually achieved.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1]`.
+pub fn magnitude_prune(w: &Tensor, sparsity: f64) -> (Tensor, f64) {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0, 1]");
+    if w.is_empty() || sparsity == 0.0 {
+        return (w.clone(), w.sparsity());
+    }
+    let mut mags: Vec<f32> = w.as_slice().iter().map(|x| x.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("weights must not be NaN"));
+    let k = ((w.len() as f64 * sparsity).round() as usize).min(w.len());
+    if k == 0 {
+        return (w.clone(), w.sparsity());
+    }
+    let threshold = mags[k - 1];
+    let pruned = w.map(|x| if x.abs() <= threshold { 0.0 } else { x });
+    let achieved = pruned.sparsity();
+    (pruned, achieved)
+}
+
+/// Gradual magnitude pruning schedule (Zhu & Gupta \[55\]): the sparsity at
+/// step `t` of a ramp from `t0` to `t1` toward final sparsity `sf`:
+/// `s(t) = sf · (1 − (1 − (t−t0)/(t1−t0))³)`.
+pub fn gradual_sparsity(sf: f64, t: u64, t0: u64, t1: u64) -> f64 {
+    if t <= t0 {
+        return 0.0;
+    }
+    if t >= t1 {
+        return sf;
+    }
+    let frac = (t - t0) as f64 / (t1 - t0) as f64;
+    sf * (1.0 - (1.0 - frac).powi(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prunes_to_target() {
+        let w = Tensor::random_uniform(vec![1000], -1.0, 1.0, 21);
+        let (p, achieved) = magnitude_prune(&w, 0.7);
+        assert!((achieved - 0.7).abs() < 0.01, "achieved {achieved}");
+        // Survivors are the large-magnitude entries.
+        let min_kept =
+            p.as_slice().iter().filter(|&&x| x != 0.0).fold(f32::MAX, |m, &x| m.min(x.abs()));
+        let max_pruned = w
+            .as_slice()
+            .iter()
+            .zip(p.as_slice())
+            .filter(|(_, &pv)| pv == 0.0)
+            .fold(0.0f32, |m, (&wv, _)| m.max(wv.abs()));
+        assert!(min_kept >= max_pruned);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let w = Tensor::random_uniform(vec![64], -1.0, 1.0, 22);
+        let (p, _) = magnitude_prune(&w, 0.0);
+        assert_eq!(p, w);
+    }
+
+    #[test]
+    fn full_sparsity_zeroes_everything() {
+        let w = Tensor::random_uniform(vec![64], -1.0, 1.0, 23);
+        let (p, achieved) = magnitude_prune(&w, 1.0);
+        assert_eq!(achieved, 1.0);
+        assert!(p.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn gradual_schedule_shape() {
+        assert_eq!(gradual_sparsity(0.8, 0, 10, 100), 0.0);
+        assert_eq!(gradual_sparsity(0.8, 100, 10, 100), 0.8);
+        let mid = gradual_sparsity(0.8, 55, 10, 100);
+        assert!(mid > 0.4 && mid < 0.8, "mid {mid}");
+        // Monotone.
+        let mut prev = 0.0;
+        for t in 0..120 {
+            let s = gradual_sparsity(0.8, t, 10, 100);
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn invalid_sparsity_panics() {
+        let w = Tensor::zeros(vec![4]);
+        let _ = magnitude_prune(&w, 1.5);
+    }
+}

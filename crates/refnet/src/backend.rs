@@ -1,0 +1,158 @@
+//! Numeric execution backends: which arithmetic the GEMMs run through.
+//!
+//! The HFP8 training scheme (paper §II-B, Fig 3) assigns formats per
+//! *operand role*: data tensors (weights, activations) use FP8 (1,4,3);
+//! error tensors use FP8 (1,5,2). The backend maps each GEMM's operand
+//! roles onto the right emulated pipeline, with chunk-based FP16
+//! accumulation throughout.
+
+use rapid_numerics::fma::FmaMode;
+use rapid_numerics::gemm::{matmul_emulated, matmul_f32};
+use rapid_numerics::Tensor;
+
+/// Role of a GEMM operand in the training dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperandRole {
+    /// Weights or activations: FP8 (1,4,3) in HFP8 mode.
+    Data,
+    /// Back-propagated errors: FP8 (1,5,2) in HFP8 mode.
+    Error,
+}
+
+/// A numeric backend for the reference trainer.
+pub trait Backend {
+    /// `a [m,k] × b [k,n]` with the given operand roles.
+    fn matmul(&self, a: &Tensor, b: &Tensor, roles: (OperandRole, OperandRole)) -> Tensor;
+
+    /// Backend label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Exact FP32 reference backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fp32Backend;
+
+impl Backend for Fp32Backend {
+    fn matmul(&self, a: &Tensor, b: &Tensor, _roles: (OperandRole, OperandRole)) -> Tensor {
+        matmul_f32(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "fp32"
+    }
+}
+
+/// DLFloat16 backend with chunked accumulation (the RaPiD FP16 baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct Fp16Backend {
+    /// MPE accumulation chunk length.
+    pub chunk_len: usize,
+}
+
+impl Default for Fp16Backend {
+    fn default() -> Self {
+        Self { chunk_len: 64 }
+    }
+}
+
+impl Backend for Fp16Backend {
+    fn matmul(&self, a: &Tensor, b: &Tensor, _roles: (OperandRole, OperandRole)) -> Tensor {
+        matmul_emulated(FmaMode::Fp16, a, b, self.chunk_len).0
+    }
+
+    fn name(&self) -> &'static str {
+        "fp16"
+    }
+}
+
+/// Hybrid-FP8 backend: (1,4,3) for data operands, (1,5,2) for error
+/// operands, merged at the FP16 adder with chunked accumulation — exactly
+/// the MPE's FPU pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Hfp8Backend {
+    /// MPE accumulation chunk length.
+    pub chunk_len: usize,
+}
+
+impl Default for Hfp8Backend {
+    fn default() -> Self {
+        Self { chunk_len: 64 }
+    }
+}
+
+impl Backend for Hfp8Backend {
+    fn matmul(&self, a: &Tensor, b: &Tensor, roles: (OperandRole, OperandRole)) -> Tensor {
+        use OperandRole::{Data, Error};
+        match roles {
+            (Data, Data) => matmul_emulated(FmaMode::hfp8_fwd_default(), a, b, self.chunk_len).0,
+            (Data, Error) => matmul_emulated(FmaMode::hfp8_bwd_default(), a, b, self.chunk_len).0,
+            // The pipeline takes (1,4,3) on port A; compute the transpose
+            // to present the error operand on port B: C = A×B = (BᵀAᵀ)ᵀ.
+            (Error, Data) => {
+                let ct = matmul_emulated(
+                    FmaMode::hfp8_bwd_default(),
+                    &b.transposed(),
+                    &a.transposed(),
+                    self.chunk_len,
+                )
+                .0;
+                ct.transposed()
+            }
+            // Error × error products do not occur in the HFP8 dataflow;
+            // fall back to the wider-range format on both ports.
+            (Error, Error) => {
+                matmul_emulated(FmaMode::hfp8_bwd_default(), a, b, self.chunk_len).0
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hfp8"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mats() -> (Tensor, Tensor) {
+        (
+            Tensor::random_uniform(vec![4, 8], -1.0, 1.0, 31),
+            Tensor::random_uniform(vec![8, 4], -1.0, 1.0, 32),
+        )
+    }
+
+    #[test]
+    fn fp32_backend_is_exact() {
+        let (a, b) = mats();
+        let r = Fp32Backend.matmul(&a, &b, (OperandRole::Data, OperandRole::Data));
+        assert_eq!(r, matmul_f32(&a, &b));
+    }
+
+    #[test]
+    fn hfp8_backend_tracks_reference() {
+        let (a, b) = mats();
+        let exact = matmul_f32(&a, &b);
+        for roles in [
+            (OperandRole::Data, OperandRole::Data),
+            (OperandRole::Data, OperandRole::Error),
+            (OperandRole::Error, OperandRole::Data),
+        ] {
+            let r = Hfp8Backend::default().matmul(&a, &b, roles);
+            assert!(r.max_rel_diff(&exact) < 0.15, "{roles:?}: {}", r.max_rel_diff(&exact));
+        }
+    }
+
+    #[test]
+    fn error_data_equals_transposed_data_error() {
+        // (Error, Data) is computed via the transpose identity; verify it
+        // against a direct construction.
+        let (a, b) = mats();
+        let be = Hfp8Backend::default();
+        let r1 = be.matmul(&a, &b, (OperandRole::Error, OperandRole::Data));
+        let r2 = be
+            .matmul(&b.transposed(), &a.transposed(), (OperandRole::Data, OperandRole::Error))
+            .transposed();
+        assert_eq!(r1, r2);
+    }
+}

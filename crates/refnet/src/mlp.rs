@@ -1,0 +1,317 @@
+//! A small multilayer perceptron with backpropagation, generic over the
+//! numeric backend. Master weights are FP32 (as in the HFP8 recipe: the
+//! optimizer keeps full-precision copies, the GEMMs see low precision).
+
+use crate::backend::{Backend, OperandRole};
+use crate::data::Dataset;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rapid_numerics::Tensor;
+
+/// One dense layer's parameters and cached forward state.
+#[derive(Debug, Clone)]
+struct Dense {
+    w: Tensor, // [in, out], FP32 master copy
+    b: Vec<f32>,
+    input: Tensor,     // cached for backward
+    pre_act: Tensor,   // cached pre-activation
+}
+
+/// A ReLU MLP classifier.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { lr: 0.1, epochs: 40, batch: 32 }
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[16, 32, 4]` for a
+    /// 16-feature input, one 32-unit hidden layer and 4 classes.
+    /// He-initialized from the seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::new();
+        for win in widths.windows(2) {
+            let (fan_in, fan_out) = (win[0], win[1]);
+            let scale = (2.0 / fan_in as f32).sqrt();
+            let w = Tensor::from_fn(vec![fan_in, fan_out], |_| {
+                let u1: f32 = rng.gen_range(1e-6f32..1.0);
+                let u2: f32 = rng.gen_range(0.0f32..1.0);
+                scale * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+            });
+            layers.push(Dense {
+                w,
+                b: vec![0.0; fan_out],
+                input: Tensor::default(),
+                pre_act: Tensor::default(),
+            });
+        }
+        Self { layers }
+    }
+
+    /// Number of dense layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Immutable access to a layer's weight matrix `[in, out]`.
+    pub fn weights(&self, layer: usize) -> &Tensor {
+        &self.layers[layer].w
+    }
+
+    /// Replaces a layer's weights (used by post-training quantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs.
+    pub fn set_weights(&mut self, layer: usize, w: Tensor) {
+        assert_eq!(self.layers[layer].w.shape(), w.shape(), "weight shape mismatch");
+        self.layers[layer].w = w;
+    }
+
+    /// Forward pass producing logits `[n, classes]`; caches activations
+    /// for a subsequent backward pass.
+    pub fn forward(&mut self, backend: &dyn Backend, x: &Tensor) -> Tensor {
+        let depth = self.layers.len();
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.input = cur.clone();
+            let mut z = backend.matmul(&cur, &layer.w, (OperandRole::Data, OperandRole::Data));
+            let out = z.shape()[1];
+            for r in 0..z.shape()[0] {
+                for c in 0..out {
+                    let v = z.get(&[r, c]) + layer.b[c];
+                    z.set(&[r, c], v);
+                }
+            }
+            layer.pre_act = z.clone();
+            cur = if i + 1 < depth { z.map(|v| v.max(0.0)) } else { z };
+        }
+        cur
+    }
+
+    /// Forward pass without caching (inference).
+    pub fn infer(&self, backend: &dyn Backend, x: &Tensor) -> Tensor {
+        let depth = self.layers.len();
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut z = backend.matmul(&cur, &layer.w, (OperandRole::Data, OperandRole::Data));
+            let out = z.shape()[1];
+            for r in 0..z.shape()[0] {
+                for c in 0..out {
+                    let v = z.get(&[r, c]) + layer.b[c];
+                    z.set(&[r, c], v);
+                }
+            }
+            cur = if i + 1 < depth { z.map(|v| v.max(0.0)) } else { z };
+        }
+        cur
+    }
+
+    /// Backward pass from the loss gradient w.r.t. the logits; applies SGD
+    /// immediately (FP32 master weights).
+    pub fn backward_sgd(&mut self, backend: &dyn Backend, grad_logits: &Tensor, lr: f32) {
+        let mut grad = grad_logits.clone();
+        for i in (0..self.layers.len()).rev() {
+            let is_output = i + 1 == self.layers.len();
+            if !is_output {
+                // ReLU backward through the cached pre-activation.
+                let pre = &self.layers[i].pre_act;
+                grad = Tensor::from_fn(grad.shape().to_vec(), |j| {
+                    if pre.as_slice()[j] > 0.0 {
+                        grad.as_slice()[j]
+                    } else {
+                        0.0
+                    }
+                });
+            }
+            // dW = Xᵀ (Data) × dY (Error); dX = dY (Error) × Wᵀ (Data).
+            let xt = self.layers[i].input.transposed();
+            let dw = backend.matmul(&xt, &grad, (OperandRole::Data, OperandRole::Error));
+            let dx = backend.matmul(
+                &grad,
+                &self.layers[i].w.transposed(),
+                (OperandRole::Error, OperandRole::Data),
+            );
+            let n = grad.shape()[0] as f32;
+            // Bias gradient (column sums) and SGD update in FP32.
+            let out = self.layers[i].w.shape()[1];
+            for c in 0..out {
+                let db: f32 = (0..grad.shape()[0]).map(|r| grad.get(&[r, c])).sum();
+                self.layers[i].b[c] -= lr * db / n;
+            }
+            let w = &mut self.layers[i].w;
+            for (wv, &g) in w.as_mut_slice().iter_mut().zip(dw.as_slice()) {
+                *wv -= lr * g / n;
+            }
+            grad = dx;
+        }
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, backend: &dyn Backend, data: &Dataset) -> f64 {
+        let logits = self.infer(backend, &data.x);
+        let classes = data.classes;
+        let mut correct = 0usize;
+        for (i, &label) in data.y.iter().enumerate() {
+            let mut best = 0usize;
+            for c in 1..classes {
+                if logits.get(&[i, c]) > logits.get(&[i, best]) {
+                    best = c;
+                }
+            }
+            if best == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / data.len().max(1) as f64
+    }
+}
+
+/// Softmax cross-entropy: returns `(mean loss, gradient w.r.t. logits)`.
+/// The loss math runs in FP32, mirroring the SFU's higher-precision
+/// auxiliary path.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    assert_eq!(n, labels.len(), "label count must match batch");
+    let mut grad = Tensor::zeros(vec![n, c]);
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row: Vec<f32> = (0..c).map(|j| logits.get(&[i, j])).collect();
+        let max = row.iter().cloned().fold(f32::MIN, f32::max);
+        let exps: Vec<f64> = row.iter().map(|&v| f64::from(v - max).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        loss -= (exps[labels[i]] / sum).ln();
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..c {
+            let p = (exps[j] / sum) as f32;
+            let t = if j == labels[i] { 1.0 } else { 0.0 };
+            grad.set(&[i, j], p - t);
+        }
+    }
+    (loss / n as f64, grad)
+}
+
+/// Trains an MLP on a dataset with plain SGD; returns the final training
+/// accuracy.
+pub fn train(mlp: &mut Mlp, backend: &dyn Backend, data: &Dataset, cfg: &TrainConfig) -> f64 {
+    for _ in 0..cfg.epochs {
+        let mut start = 0;
+        while start < data.len() {
+            let end = (start + cfg.batch).min(data.len());
+            let (bx, by) = data.batch(start, end);
+            let logits = mlp.forward(backend, &bx);
+            let (_, grad) = softmax_cross_entropy(&logits, by);
+            mlp.backward_sgd(backend, &grad, cfg.lr);
+            start = end;
+        }
+    }
+    mlp.accuracy(backend, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Fp16Backend, Fp32Backend, Hfp8Backend};
+    use crate::data::gaussian_blobs;
+
+    fn blobs() -> Dataset {
+        gaussian_blobs(512, 4, 16, 0.35, 42)
+    }
+
+    #[test]
+    fn fp32_training_converges() {
+        let data = blobs();
+        let mut mlp = Mlp::new(&[16, 32, 4], 1);
+        let acc = train(&mut mlp, &Fp32Backend, &data, &TrainConfig::default());
+        assert!(acc > 0.95, "fp32 accuracy {acc}");
+    }
+
+    /// E10: the HFP8 parity claim — 8-bit training reaches accuracy
+    /// equivalent to FP32 (paper §II-B, refs [44, 45]).
+    #[test]
+    fn hfp8_training_matches_fp32() {
+        let data = blobs();
+        let mut fp32 = Mlp::new(&[16, 32, 4], 1);
+        let a32 = train(&mut fp32, &Fp32Backend, &data, &TrainConfig::default());
+        let mut hfp8 = Mlp::new(&[16, 32, 4], 1);
+        let a8 = train(&mut hfp8, &Hfp8Backend::default(), &data, &TrainConfig::default());
+        assert!(a8 > a32 - 0.03, "hfp8 {a8} vs fp32 {a32}");
+    }
+
+    #[test]
+    fn fp16_training_matches_fp32() {
+        let data = blobs();
+        let mut fp16 = Mlp::new(&[16, 32, 4], 1);
+        let a16 = train(&mut fp16, &Fp16Backend::default(), &data, &TrainConfig::default());
+        assert!(a16 > 0.93, "fp16 accuracy {a16}");
+    }
+
+    #[test]
+    fn softmax_ce_gradient_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 0.5, -1.0, 0.0, 1.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1, 2]);
+        assert!(loss > 0.0);
+        for i in 0..2 {
+            let s: f32 = (0..3).map(|j| grad.get(&[i, j])).sum();
+            assert!(s.abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Verify backprop on a tiny FP32 model via central differences.
+        let data = gaussian_blobs(8, 2, 3, 0.3, 9);
+        let mut mlp = Mlp::new(&[3, 4, 2], 2);
+        let eps = 1e-3f32;
+        // Analytic gradient of W0[0,0]: replicate backward_sgd's dW but
+        // without the update, via a unit learning rate trick on a clone.
+        let loss_at = |m: &mut Mlp, delta: f32| {
+            let mut w = m.weights(0).clone();
+            let orig = w.as_slice()[0];
+            w.as_mut_slice()[0] = orig + delta;
+            m.set_weights(0, w);
+            let logits = m.forward(&Fp32Backend, &data.x);
+            let (l, _) = softmax_cross_entropy(&logits, &data.y);
+            let mut w = m.weights(0).clone();
+            w.as_mut_slice()[0] = orig;
+            m.set_weights(0, w);
+            l
+        };
+        let lp = loss_at(&mut mlp, eps);
+        let lm = loss_at(&mut mlp, -eps);
+        let numeric = ((lp - lm) / (2.0 * f64::from(eps))) as f32;
+        // Analytic: run one backward with lr so that Δw = -lr·g, recover g.
+        let mut probe = mlp.clone();
+        let logits = probe.forward(&Fp32Backend, &data.x);
+        let (_, grad) = softmax_cross_entropy(&logits, &data.y);
+        let before = probe.weights(0).as_slice()[0];
+        probe.backward_sgd(&Fp32Backend, &grad, 1.0);
+        let analytic = before - probe.weights(0).as_slice()[0];
+        assert!(
+            (numeric - analytic).abs() < 2e-3,
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}

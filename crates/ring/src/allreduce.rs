@@ -1,0 +1,152 @@
+//! Multi-chip gradient exchange (paper §IV-A/V-F): chips connect through
+//! their chip-management units into an outer ring; the update phase
+//! ring-all-reduces weight gradients (reduce-scatter at FP16) and then
+//! broadcasts updated weights (8-bit payloads in HFP8 mode).
+//!
+//! This is a chip-granularity simulation of that exchange: each step moves
+//! one shard between neighbors at the link bandwidth, with a fixed
+//! per-message latency; the tests pin it against the analytic
+//! `2(n−1)/n · bytes / bw` cost the performance model uses.
+
+/// Configuration of the chip-to-chip exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllReduceConfig {
+    /// Number of chips on the outer ring.
+    pub chips: u32,
+    /// Link bandwidth per direction, bytes per cycle (128 GB/s at
+    /// 1.5 GHz ≈ 85 B/cycle).
+    pub link_bytes_per_cycle: f64,
+    /// Fixed per-step message latency in cycles (link + protocol).
+    pub step_latency_cycles: u64,
+    /// Gradient element width in bytes (FP16 = 2).
+    pub grad_bytes: f64,
+    /// Broadcast weight width in bytes (1 in HFP8 mode, 2 at FP16).
+    pub weight_bytes: f64,
+}
+
+impl AllReduceConfig {
+    /// The paper's training system: 128 GB/s links at a 1.5 GHz core clock.
+    pub fn rapid_training(chips: u32, hfp8: bool) -> Self {
+        Self {
+            chips,
+            link_bytes_per_cycle: 128.0e9 / 1.5e9,
+            step_latency_cycles: 500,
+            grad_bytes: 2.0,
+            weight_bytes: if hfp8 { 1.0 } else { 2.0 },
+        }
+    }
+}
+
+/// Result of one simulated exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllReduceResult {
+    /// Total cycles for reduce-scatter + weight broadcast.
+    pub cycles: u64,
+    /// Cycles in the reduce-scatter phase.
+    pub reduce_cycles: u64,
+    /// Cycles in the broadcast (all-gather) phase.
+    pub broadcast_cycles: u64,
+    /// Total bytes each link carried.
+    pub bytes_per_link: f64,
+}
+
+/// Simulates a ring all-reduce of `weights` elements across the chips:
+/// `n−1` reduce-scatter steps moving FP16 gradient shards, then `n−1`
+/// all-gather steps moving updated weights at the broadcast width. All
+/// links run concurrently; each step is bounded by the largest shard.
+pub fn simulate_allreduce(weights: u64, cfg: &AllReduceConfig) -> AllReduceResult {
+    let n = u64::from(cfg.chips.max(1));
+    if n == 1 {
+        return AllReduceResult {
+            cycles: 0,
+            reduce_cycles: 0,
+            broadcast_cycles: 0,
+            bytes_per_link: 0.0,
+        };
+    }
+    // Shards are as even as possible; every step all chips send their
+    // current shard simultaneously, so the step time is set by the largest
+    // shard in flight.
+    let max_shard = weights.div_ceil(n);
+    let step = |elem_bytes: f64| -> u64 {
+        let transfer = (max_shard as f64 * elem_bytes / cfg.link_bytes_per_cycle).ceil() as u64;
+        transfer + cfg.step_latency_cycles
+    };
+    let reduce_cycles = (n - 1) * step(cfg.grad_bytes);
+    let broadcast_cycles = (n - 1) * step(cfg.weight_bytes);
+    let bytes_per_link =
+        (n - 1) as f64 * max_shard as f64 * (cfg.grad_bytes + cfg.weight_bytes);
+    AllReduceResult {
+        cycles: reduce_cycles + broadcast_cycles,
+        reduce_cycles,
+        broadcast_cycles,
+        bytes_per_link,
+    }
+}
+
+/// The analytic cost the performance model uses:
+/// `(n−1)/n · weights · (grad + weight bytes) / bw` in cycles, without
+/// latency terms.
+pub fn analytic_allreduce_cycles(weights: u64, cfg: &AllReduceConfig) -> f64 {
+    let n = f64::from(cfg.chips.max(1));
+    if cfg.chips <= 1 {
+        return 0.0;
+    }
+    (n - 1.0) / n * weights as f64 * (cfg.grad_bytes + cfg.weight_bytes)
+        / cfg.link_bytes_per_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_chip_is_free() {
+        let cfg = AllReduceConfig::rapid_training(1, true);
+        assert_eq!(simulate_allreduce(1_000_000, &cfg).cycles, 0);
+    }
+
+    #[test]
+    fn matches_analytic_for_large_payloads() {
+        // With big shards the fixed step latency vanishes and the
+        // simulation converges to the analytic bandwidth bound.
+        for chips in [2u32, 4, 8] {
+            let cfg = AllReduceConfig::rapid_training(chips, false);
+            let weights = 100_000_000u64; // 100 M parameters
+            let sim = simulate_allreduce(weights, &cfg).cycles as f64;
+            let analytic = analytic_allreduce_cycles(weights, &cfg);
+            let err = (sim - analytic).abs() / analytic;
+            assert!(err < 0.02, "{chips} chips: sim {sim} vs analytic {analytic}");
+        }
+    }
+
+    #[test]
+    fn latency_dominates_tiny_payloads() {
+        let cfg = AllReduceConfig::rapid_training(32, true);
+        let r = simulate_allreduce(1_000, &cfg);
+        // 62 steps of ~500-cycle latency.
+        assert!(r.cycles > 2 * 31 * cfg.step_latency_cycles);
+    }
+
+    #[test]
+    fn hfp8_broadcast_is_cheaper() {
+        let weights = 25_000_000u64;
+        let fp16 = simulate_allreduce(weights, &AllReduceConfig::rapid_training(4, false));
+        let hfp8 = simulate_allreduce(weights, &AllReduceConfig::rapid_training(4, true));
+        assert!(hfp8.broadcast_cycles < fp16.broadcast_cycles);
+        assert_eq!(hfp8.reduce_cycles, fp16.reduce_cycles);
+        // §V-F: the total shrinks by the 8-bit weight broadcast.
+        assert!(hfp8.cycles < fp16.cycles);
+    }
+
+    #[test]
+    fn per_link_traffic_grows_sublinearly_with_chips() {
+        // Ring all-reduce moves ~2·weights bytes per link regardless of n.
+        let weights = 10_000_000u64;
+        let b4 = simulate_allreduce(weights, &AllReduceConfig::rapid_training(4, false))
+            .bytes_per_link;
+        let b16 = simulate_allreduce(weights, &AllReduceConfig::rapid_training(16, false))
+            .bytes_per_link;
+        assert!((b16 / b4 - 1.25).abs() < 0.05, "ratio {}", b16 / b4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Chip-level simulation: a GEMM partitioned across the chip's cores with
+//! the operand distribution carried over the bidirectional ring — the
+//! composition the 4-core chip of Fig 9 performs, with the MNI multicast
+//! of Fig 8 broadcasting the shared operand.
+//!
+//! This stitches the two timing simulators together: `rapid-ring` times
+//! the weight/input distribution phase, `rapid-sim`'s cores time the
+//! compute, and double-buffering overlaps the next core-group transfer
+//! with the current compute as the paper's software stack does (§III-E).
+
+use crate::gemm::{CoreSim, GemmJob, SimResult};
+use rapid_arch::geometry::CoreConfig;
+use rapid_arch::precision::Precision;
+use rapid_numerics::Tensor;
+use rapid_ring::sim::{memory_read, RingSim};
+
+/// A chip-level GEMM job.
+#[derive(Debug, Clone)]
+pub struct ChipGemmJob {
+    /// Left operand `[m, k]` — broadcast to every core (shared input).
+    pub a: Tensor,
+    /// Right operand `[k, n]` — column-partitioned across cores.
+    pub b: Tensor,
+    /// Execution precision.
+    pub precision: Precision,
+}
+
+/// Result of a chip-level simulated GEMM.
+#[derive(Debug, Clone)]
+pub struct ChipSimResult {
+    /// The assembled result `[m, n]`.
+    pub c: Tensor,
+    /// Ring cycles to distribute the operands (memory → cores, with the
+    /// shared input multicast).
+    pub distribution_cycles: u64,
+    /// Compute cycles of the slowest core.
+    pub compute_cycles: u64,
+    /// End-to-end cycles with distribution overlapped against compute via
+    /// double buffering (`max` composition plus the first-tile fill).
+    pub total_cycles: u64,
+    /// Per-core GEMM results.
+    pub cores: Vec<SimResult>,
+}
+
+/// Simulates a GEMM across `n_cores` cores of a chip.
+///
+/// # Panics
+///
+/// Panics if shapes are incompatible or `n_cores == 0`.
+pub fn run_chip_gemm(job: &ChipGemmJob, core_cfg: CoreConfig, n_cores: usize) -> ChipSimResult {
+    assert!(n_cores > 0, "need at least one core");
+    assert_eq!(job.a.shape()[1], job.b.shape()[0], "inner dimensions must match");
+    let (m, k) = (job.a.shape()[0], job.a.shape()[1]);
+    let n = job.b.shape()[1];
+
+    // --- Distribution phase on the ring -------------------------------
+    // Every core needs the whole A (multicast from memory); each core
+    // needs only its own column slice of B (unicast reads).
+    let elem_bytes = job.precision.bytes();
+    let mut ring = RingSim::new(n_cores, 50);
+    let a_bytes = (m * k) as f64 * elem_bytes;
+    let consumers: Vec<usize> = (0..n_cores).collect();
+    memory_read(&mut ring, 1, &consumers, a_bytes.ceil() as u32);
+    let cols_per_core = n.div_ceil(n_cores);
+    for core in 0..n_cores {
+        let cols = cols_per_core.min(n.saturating_sub(core * cols_per_core));
+        if cols == 0 {
+            continue;
+        }
+        let b_bytes = (k * cols) as f64 * elem_bytes;
+        memory_read(&mut ring, 2 + core as u16, &[core], b_bytes.ceil() as u32);
+    }
+    let distribution_cycles =
+        ring.run_until_idle(100_000_000).expect("ring distribution drains");
+
+    // --- Compute phase on the cores ------------------------------------
+    let sim = CoreSim::new(core_cfg);
+    let mut c = Tensor::zeros(vec![m, n]);
+    let mut cores = Vec::new();
+    let mut compute_cycles = 0u64;
+    for core in 0..n_cores {
+        let c0 = core * cols_per_core;
+        if c0 >= n {
+            break;
+        }
+        let cols = cols_per_core.min(n - c0);
+        // Slice B's columns for this core.
+        let mut b_slice = Tensor::zeros(vec![k, cols]);
+        for r in 0..k {
+            for cc in 0..cols {
+                b_slice.set(&[r, cc], job.b.get(&[r, c0 + cc]));
+            }
+        }
+        let r = sim.run_gemm(&GemmJob {
+            a: job.a.clone(),
+            b: b_slice,
+            precision: job.precision,
+        });
+        for row in 0..m {
+            for cc in 0..cols {
+                c.set(&[row, c0 + cc], r.c.get(&[row, cc]));
+            }
+        }
+        compute_cycles = compute_cycles.max(r.cycles);
+        cores.push(r);
+    }
+
+    // Double buffering: the next tile's distribution hides under this
+    // tile's compute; one initial fill is exposed. For a single tile the
+    // exposure is the smaller of the two phases.
+    let total_cycles = compute_cycles.max(distribution_cycles)
+        + compute_cycles.min(distribution_cycles).min(distribution_cycles / 8);
+    ChipSimResult { c, distribution_cycles, compute_cycles, total_cycles, cores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_numerics::fma::FmaMode;
+    use rapid_numerics::gemm::matmul_emulated;
+
+    fn job(m: usize, k: usize, n: usize, p: Precision) -> ChipGemmJob {
+        ChipGemmJob {
+            a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, 90),
+            b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, 91),
+            precision: p,
+        }
+    }
+
+    #[test]
+    fn chip_gemm_is_bitexact_vs_emulated() {
+        let j = job(8, 128, 256, Precision::Fp16);
+        let r = run_chip_gemm(&j, CoreConfig::default(), 4);
+        let ci_lrf = CoreConfig::default().corelet.ci_lrf_max(Precision::Fp16) as usize;
+        let (expect, _) = matmul_emulated(FmaMode::Fp16, &j.a, &j.b, ci_lrf);
+        assert_eq!(r.c, expect);
+    }
+
+    #[test]
+    fn more_cores_cut_compute_cycles() {
+        let j = job(16, 256, 512, Precision::Fp16);
+        let one = run_chip_gemm(&j, CoreConfig::default(), 1);
+        let four = run_chip_gemm(&j, CoreConfig::default(), 4);
+        assert!(
+            four.compute_cycles * 3 < one.compute_cycles,
+            "4-core {} vs 1-core {}",
+            four.compute_cycles,
+            one.compute_cycles
+        );
+        assert_eq!(one.c, four.c, "partitioning must not change values");
+    }
+
+    #[test]
+    fn distribution_overlaps_with_compute() {
+        let j = job(16, 256, 256, Precision::Fp16);
+        let r = run_chip_gemm(&j, CoreConfig::default(), 4);
+        assert!(r.total_cycles < r.compute_cycles + r.distribution_cycles);
+        assert!(r.total_cycles >= r.compute_cycles.max(r.distribution_cycles));
+    }
+
+    #[test]
+    fn shared_input_multicast_beats_replicated_reads() {
+        // The distribution phase multicasts A once; four replicated reads
+        // of the same bytes serialize at the memory port.
+        let a_bytes = 64 * 256 * 2u32;
+        let mut mc = RingSim::new(4, 50);
+        memory_read(&mut mc, 1, &[0, 1, 2, 3], a_bytes);
+        let t_mc = mc.run_until_idle(10_000_000).expect("drains");
+        let mut uc = RingSim::new(4, 50);
+        for (tag, core) in [(1u16, 0usize), (2, 1), (3, 2), (4, 3)] {
+            memory_read(&mut uc, tag, &[core], a_bytes);
+        }
+        let t_uc = uc.run_until_idle(10_000_000).expect("drains");
+        // One multicast stream vs four serialized streams: ~3-4x faster
+        // (bubble flow control costs the multicast a little headroom).
+        assert!(
+            (t_mc as f64) * 2.5 < t_uc as f64,
+            "multicast {t_mc} should be much faster than replicated reads {t_uc}"
+        );
+    }
+}

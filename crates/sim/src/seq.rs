@@ -1,0 +1,380 @@
+//! Data-sequencing machinery: scratchpads, bounded links and the
+//! programmable sequencers at the end points of each link (paper §II-A's
+//! decoupled access–execute organization).
+
+use crate::token::TokenFile;
+use rapid_arch::isa::SeqInstr;
+use std::collections::VecDeque;
+
+/// A scratchpad holding `f32` element values (each an exact member of the
+/// stored format's value set). Addressing is in elements; bandwidth
+/// accounting converts to bytes with the stream's element width.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    data: Vec<f32>,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad of `n` elements.
+    pub fn new(n: usize) -> Self {
+        Self { data: vec![0.0; n] }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the scratchpad is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads one element.
+    pub fn read(&self, addr: usize) -> f32 {
+        self.data[addr]
+    }
+
+    /// Writes one element.
+    pub fn write(&mut self, addr: usize, v: f32) {
+        self.data[addr] = v;
+    }
+
+    /// Bulk-stores a slice starting at `addr` (job setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit.
+    pub fn store_slice(&mut self, addr: usize, values: &[f32]) {
+        self.data[addr..addr + values.len()].copy_from_slice(values);
+    }
+
+    /// Bulk-loads `len` elements starting at `addr` (result readout).
+    pub fn load_slice(&self, addr: usize, len: usize) -> Vec<f32> {
+        self.data[addr..addr + len].to_vec()
+    }
+}
+
+/// A bounded FIFO link between units, carrying element values.
+#[derive(Debug, Clone)]
+pub struct Link {
+    queue: VecDeque<f32>,
+    capacity: usize,
+}
+
+impl Link {
+    /// Creates a link buffering up to `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        Self { queue: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Free slots.
+    pub fn space(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Buffered elements.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the link is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Pushes an element; returns `false` when full.
+    pub fn push(&mut self, v: f32) -> bool {
+        if self.queue.len() == self.capacity {
+            return false;
+        }
+        self.queue.push_back(v);
+        true
+    }
+
+    /// Pops the head element.
+    pub fn pop(&mut self) -> Option<f32> {
+        self.queue.pop_front()
+    }
+}
+
+/// Execution state of one data-sequencing program.
+#[derive(Debug, Clone)]
+pub struct Sequencer {
+    program: Vec<SeqInstr>,
+    pc: usize,
+    loop_stack: Vec<(usize, u32)>, // (body start pc, iterations remaining)
+    read_progress: u32,            // elements already pushed of the current Read
+    /// Bytes each streamed element occupies (precision dependent).
+    pub elem_bytes: f64,
+    /// Elements pushed in total (statistics).
+    pub elems_moved: u64,
+    /// Cycles this sequencer spent stalled on tokens or link backpressure.
+    pub stall_cycles: u64,
+}
+
+impl Sequencer {
+    /// Creates a sequencer for a program streaming `elem_bytes`-wide
+    /// elements.
+    pub fn new(program: Vec<SeqInstr>, elem_bytes: f64) -> Self {
+        Self {
+            program,
+            pc: 0,
+            loop_stack: Vec::new(),
+            read_progress: 0,
+            elem_bytes,
+            elems_moved: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Whether the program has retired completely.
+    pub fn is_done(&self) -> bool {
+        self.pc >= self.program.len()
+    }
+
+    /// Runs one cycle: advances through control instructions (loops,
+    /// tokens are free), then streams elements of the current `Read` into
+    /// `link`, limited by the link's space and the shared L1 port budget
+    /// `port_bytes` (decremented by the bytes actually moved).
+    pub fn tick(
+        &mut self,
+        spad: &Scratchpad,
+        link: &mut Link,
+        tokens: &mut TokenFile,
+        port_bytes: &mut f64,
+    ) {
+        let mut made_progress = false;
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(instr) = self.program.get(self.pc).copied() else { break };
+            match instr {
+                SeqInstr::LoopBegin { count } => {
+                    if count == 0 {
+                        // Skip to the matching LoopEnd.
+                        let mut depth = 1;
+                        let mut pc = self.pc + 1;
+                        while pc < self.program.len() && depth > 0 {
+                            match self.program[pc] {
+                                SeqInstr::LoopBegin { .. } => depth += 1,
+                                SeqInstr::LoopEnd => depth -= 1,
+                                _ => {}
+                            }
+                            pc += 1;
+                        }
+                        self.pc = pc;
+                    } else {
+                        self.loop_stack.push((self.pc + 1, count));
+                        self.pc += 1;
+                    }
+                }
+                SeqInstr::LoopEnd => {
+                    let Some(top) = self.loop_stack.last_mut() else {
+                        self.pc += 1; // tolerate unmatched end
+                        continue;
+                    };
+                    top.1 -= 1;
+                    if top.1 == 0 {
+                        self.loop_stack.pop();
+                        self.pc += 1;
+                    } else {
+                        self.pc = top.0;
+                    }
+                }
+                SeqInstr::SignalToken { token } => {
+                    tokens.signal(token);
+                    self.pc += 1;
+                }
+                SeqInstr::WaitToken { token, count } => {
+                    if tokens.try_consume(token, count) {
+                        self.pc += 1;
+                    } else {
+                        if !made_progress {
+                            self.stall_cycles += 1;
+                        }
+                        return; // blocked this cycle
+                    }
+                }
+                SeqInstr::Read { addr, len, stride } => {
+                    // Stream as many elements as budget and space allow.
+                    let budget_elems = (*port_bytes / self.elem_bytes).floor() as u32;
+                    let n = (len - self.read_progress)
+                        .min(budget_elems)
+                        .min(link.space() as u32);
+                    for i in 0..n {
+                        let idx = self.read_progress + i;
+                        let a = addr as usize + (idx as usize) * stride as usize;
+                        let ok = link.push(spad.read(a));
+                        debug_assert!(ok, "space was checked");
+                    }
+                    *port_bytes -= f64::from(n) * self.elem_bytes;
+                    self.read_progress += n;
+                    self.elems_moved += u64::from(n);
+                    if n > 0 {
+                        made_progress = true;
+                    }
+                    if self.read_progress == len {
+                        self.read_progress = 0;
+                        self.pc += 1;
+                        // Control instructions after a finished read may
+                        // retire in the same cycle, but at most one Read
+                        // streams per cycle.
+                        if self
+                            .program
+                            .get(self.pc)
+                            .is_some_and(|i| matches!(i, SeqInstr::Read { .. }))
+                            && *port_bytes < self.elem_bytes
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                    if !made_progress {
+                        self.stall_cycles += 1;
+                    }
+                    return; // read still in flight
+                }
+                SeqInstr::Write { .. } => {
+                    // Writes are handled by the dedicated write-back unit in
+                    // this simulator; treat as a no-op marker.
+                    self.pc += 1;
+                }
+            }
+            if self.pc >= self.program.len() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spad_with(values: &[f32]) -> Scratchpad {
+        let mut s = Scratchpad::new(values.len());
+        s.store_slice(0, values);
+        s
+    }
+
+    #[test]
+    fn read_streams_under_port_budget() {
+        let spad = spad_with(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut link = Link::new(64);
+        let mut tokens = TokenFile::new(1);
+        let mut seq =
+            Sequencer::new(vec![SeqInstr::Read { addr: 0, len: 8, stride: 1 }], 2.0);
+        // Budget of 8 bytes/cycle = 4 fp16 elements per cycle.
+        for _ in 0..2 {
+            let mut budget = 8.0;
+            seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        }
+        assert!(seq.is_done());
+        assert_eq!(link.len(), 8);
+        assert_eq!(link.pop(), Some(1.0));
+    }
+
+    #[test]
+    fn strided_read() {
+        let spad = spad_with(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut link = Link::new(8);
+        let mut tokens = TokenFile::new(1);
+        let mut seq =
+            Sequencer::new(vec![SeqInstr::Read { addr: 1, len: 3, stride: 2 }], 2.0);
+        let mut budget = 128.0;
+        seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        assert_eq!(link.pop(), Some(1.0));
+        assert_eq!(link.pop(), Some(3.0));
+        assert_eq!(link.pop(), Some(5.0));
+    }
+
+    #[test]
+    fn link_backpressure_stalls() {
+        let spad = spad_with(&[1.0; 16]);
+        let mut link = Link::new(4);
+        let mut tokens = TokenFile::new(1);
+        let mut seq =
+            Sequencer::new(vec![SeqInstr::Read { addr: 0, len: 16, stride: 1 }], 1.0);
+        let mut budget = 128.0;
+        seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        assert_eq!(link.len(), 4, "capacity caps the stream");
+        assert!(!seq.is_done());
+        // Drain two, stream resumes.
+        link.pop();
+        link.pop();
+        let mut budget = 128.0;
+        seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        assert_eq!(link.len(), 4);
+    }
+
+    #[test]
+    fn hardware_loops_repeat_reads() {
+        let spad = spad_with(&[7.0, 8.0]);
+        let mut link = Link::new(64);
+        let mut tokens = TokenFile::new(1);
+        let mut seq = Sequencer::new(
+            vec![
+                SeqInstr::LoopBegin { count: 3 },
+                SeqInstr::Read { addr: 0, len: 2, stride: 1 },
+                SeqInstr::LoopEnd,
+            ],
+            2.0,
+        );
+        for _ in 0..10 {
+            let mut budget = 128.0;
+            seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+            if seq.is_done() {
+                break;
+            }
+        }
+        assert!(seq.is_done());
+        assert_eq!(link.len(), 6);
+        assert_eq!(seq.elems_moved, 6);
+    }
+
+    #[test]
+    fn wait_token_blocks_until_signalled() {
+        let spad = spad_with(&[1.0]);
+        let mut link = Link::new(4);
+        let mut tokens = TokenFile::new(2);
+        let mut seq = Sequencer::new(
+            vec![
+                SeqInstr::WaitToken { token: 0, count: 1 },
+                SeqInstr::Read { addr: 0, len: 1, stride: 1 },
+            ],
+            2.0,
+        );
+        let mut budget = 128.0;
+        seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        assert!(link.is_empty());
+        assert_eq!(seq.stall_cycles, 1);
+        tokens.signal(0);
+        let mut budget = 128.0;
+        seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        assert_eq!(link.len(), 1);
+        assert!(seq.is_done());
+    }
+
+    #[test]
+    fn nested_loops() {
+        let spad = spad_with(&[1.0]);
+        let mut link = Link::new(64);
+        let mut tokens = TokenFile::new(1);
+        let mut seq = Sequencer::new(
+            vec![
+                SeqInstr::LoopBegin { count: 2 },
+                SeqInstr::LoopBegin { count: 3 },
+                SeqInstr::Read { addr: 0, len: 1, stride: 1 },
+                SeqInstr::LoopEnd,
+                SeqInstr::LoopEnd,
+            ],
+            1.0,
+        );
+        for _ in 0..20 {
+            let mut budget = 128.0;
+            seq.tick(&spad, &mut link, &mut tokens, &mut budget);
+        }
+        assert!(seq.is_done());
+        assert_eq!(seq.elems_moved, 6);
+    }
+}

@@ -1,0 +1,70 @@
+//! Token-based hardware synchronization (paper §II-A): small counters that
+//! producer units signal and consumer units wait on, ordering accesses to
+//! shared buffers without centralized control.
+
+/// A file of token counters shared by the programmable units of one core.
+#[derive(Debug, Clone)]
+pub struct TokenFile {
+    counters: Vec<u32>,
+}
+
+impl TokenFile {
+    /// Creates `n` token counters, all zero.
+    pub fn new(n: usize) -> Self {
+        Self { counters: vec![0; n] }
+    }
+
+    /// Signals token `t` once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn signal(&mut self, t: u8) {
+        self.counters[t as usize] += 1;
+    }
+
+    /// Attempts to consume `count` signals of token `t`. Returns `true`
+    /// and decrements on success; leaves the counter untouched otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn try_consume(&mut self, t: u8, count: u16) -> bool {
+        let c = &mut self.counters[t as usize];
+        if *c >= u32::from(count) {
+            *c -= u32::from(count);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current value of token `t`.
+    pub fn value(&self, t: u8) -> u32 {
+        self.counters[t as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_and_consume() {
+        let mut tf = TokenFile::new(4);
+        assert!(!tf.try_consume(2, 1));
+        tf.signal(2);
+        tf.signal(2);
+        assert_eq!(tf.value(2), 2);
+        assert!(tf.try_consume(2, 2));
+        assert!(!tf.try_consume(2, 1));
+    }
+
+    #[test]
+    fn tokens_are_independent() {
+        let mut tf = TokenFile::new(2);
+        tf.signal(0);
+        assert!(!tf.try_consume(1, 1));
+        assert!(tf.try_consume(0, 1));
+    }
+}

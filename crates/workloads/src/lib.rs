@@ -1,0 +1,38 @@
+//! # rapid-workloads
+//!
+//! The DNN benchmark suite the RaPiD paper evaluates (§V-A): layer-exact
+//! graphs for 11 networks across four domains, plus the pruned-model
+//! sparsity profiles used by the sparsity-aware throttling study.
+//!
+//! | domain | benchmarks |
+//! |---|---|
+//! | image classification | VGG16, ResNet50, InceptionV3, InceptionV4, MobileNetV1 |
+//! | object detection | SSD300, YOLOv3, YOLOv3-Tiny |
+//! | natural language | BERT (seq 384), 2-layer LSTM (PTB) |
+//! | speech | 4-layer BiLSTM (SWB300) |
+//!
+//! Networks are described as ordered [`graph::Layer`] lists whose
+//! dimensions match the public model definitions (tests pin total MACs and
+//! parameter counts to the published numbers). Performance and power
+//! estimation happen downstream in `rapid-model`; this crate only encodes
+//! *what* must be computed.
+//!
+//! # Example
+//!
+//! ```
+//! use rapid_workloads::suite::benchmark;
+//!
+//! let net = benchmark("resnet50").expect("resnet50 is in the suite");
+//! let gmacs = net.total_macs() as f64 / 1e9;
+//! assert!((gmacs - 4.1).abs() < 0.3);
+//! ```
+
+pub mod builder;
+pub mod cnn;
+pub mod detection;
+pub mod graph;
+pub mod nlp;
+pub mod suite;
+
+pub use graph::{AuxKind, Domain, Layer, Network, Op, PrecisionClass};
+pub use suite::{apply_pruning_profile, benchmark, benchmark_suite};

@@ -1,0 +1,44 @@
+//! Sparsity-aware frequency throttling (paper §III-C / Fig 16): derive the
+//! throttle-rate curve from the power characterization, then apply the
+//! compiler-guided schedule to the pruned benchmark suite.
+//!
+//! Run with: `cargo run --release --example sparsity_throttling`
+
+use rapid::arch::geometry::ChipConfig;
+use rapid::arch::power::ThrottleModel;
+use rapid::model::cost::ModelConfig;
+use rapid::model::throttle::throttling_study;
+use rapid::workloads::suite::{apply_pruning_profile, pruned_study_suite};
+
+fn main() {
+    let t = ThrottleModel::rapid_default();
+    println!("Fig 16(a): throttle rate vs weight sparsity (power budget {:.0}% of dense f_max)", t.budget_fraction * 100.0);
+    println!("{:>10} {:>14} {:>12}", "sparsity", "throttle rate", "f_eff GHz");
+    for s in [0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9] {
+        println!(
+            "{:>9.0}% {:>13.1}% {:>12.2}",
+            s * 100.0,
+            t.throttle_rate(s) * 100.0,
+            t.effective_frequency_ghz(s)
+        );
+    }
+
+    println!("\nFig 16(b): pruned-model speedup from sparsity-aware throttling");
+    println!("{:>12} {:>12} {:>10}", "benchmark", "sparsity", "speedup");
+    let chip = ChipConfig::rapid_4core();
+    let cfg = ModelConfig::default();
+    let mut speedups = Vec::new();
+    for mut net in pruned_study_suite() {
+        apply_pruning_profile(&mut net);
+        let study = throttling_study(&net, &chip, &t, &cfg);
+        speedups.push(study.speedup());
+        println!(
+            "{:>12} {:>11.0}% {:>9.2}x",
+            study.network,
+            study.avg_sparsity * 100.0,
+            study.speedup()
+        );
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    println!("\naverage speedup {avg:.2}x (paper: 1.1x–1.7x, average 1.3x)");
+}

@@ -1,0 +1,72 @@
+//! Integration (E9): sweep GEMM shapes through the cycle-approximate core
+//! simulator and require the analytical model to track it — our analog of
+//! the paper's "performance model calibrated to within 1% of the
+//! measurement results".
+
+use rapid::arch::geometry::CoreletConfig;
+use rapid::arch::precision::Precision;
+use rapid::compiler::mapping::map_layer;
+use rapid::numerics::Tensor;
+use rapid::sim::gemm::{CoreSim, GemmJob};
+use rapid::workloads::graph::Op;
+
+fn calibration_error(m: usize, k: usize, n: usize, p: Precision, seed: u64) -> f64 {
+    let core = CoreSim::rapid();
+    let job = GemmJob {
+        a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, seed),
+        b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, seed + 1),
+        precision: p,
+    };
+    let r = core.run_gemm(&job);
+    let op = Op::Gemm { m: m as u64, k: k as u64, n: n as u64, weighted: true };
+    let predicted = map_layer(&op, p, 1, &CoreletConfig::default(), 2).total_cycles();
+    (predicted - r.cycles as f64).abs() / r.cycles as f64
+}
+
+#[test]
+fn calibration_sweep_mean_error_is_small() {
+    let shapes = [
+        (16usize, 128usize, 128usize),
+        (32, 256, 128),
+        (64, 256, 256),
+        (8, 512, 128),
+        (128, 64, 128),
+    ];
+    let mut errors = Vec::new();
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4] {
+            let e = calibration_error(m, k, n, p, 100 + i as u64);
+            assert!(e < 0.10, "{p} {m}x{k}x{n}: error {:.1}%", e * 100.0);
+            errors.push(e);
+        }
+    }
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(mean < 0.05, "mean calibration error {:.2}% (target < 5%)", mean * 100.0);
+}
+
+#[test]
+fn calibration_holds_for_awkward_shapes() {
+    // Non-multiple dimensions exercise residue handling on both sides.
+    for &(m, k, n) in &[(7usize, 100usize, 70usize), (33, 130, 65), (5, 513, 129)] {
+        let e = calibration_error(m, k, n, Precision::Fp16, 200);
+        assert!(e < 0.15, "{m}x{k}x{n}: error {:.1}%", e * 100.0);
+    }
+}
+
+#[test]
+fn simulated_int4_outpaces_fp16_by_the_architected_factor() {
+    // End-to-end cycles won't show the full 8× (block loads don't scale),
+    // but the streaming phase must.
+    let core = CoreSim::rapid();
+    let a = Tensor::random_uniform(vec![64, 512], -1.0, 1.0, 300);
+    let b = Tensor::random_uniform(vec![512, 128], -1.0, 1.0, 301);
+    let run = |p| {
+        core.run_gemm(&GemmJob { a: a.clone(), b: b.clone(), precision: p })
+    };
+    let fp16 = run(Precision::Fp16);
+    let int4 = run(Precision::Int4);
+    let fp16_stream: u64 = fp16.corelets.iter().map(|c| c.phase_cycles[2]).sum();
+    let int4_stream: u64 = int4.corelets.iter().map(|c| c.phase_cycles[2]).sum();
+    let ratio = fp16_stream as f64 / int4_stream as f64;
+    assert!((7.0..=9.0).contains(&ratio), "stream-rate ratio {ratio} (architected 8x)");
+}
