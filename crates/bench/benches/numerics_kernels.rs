@@ -1,10 +1,17 @@
 //! Criterion bench for the numerics substrate: quantization, FMA pipeline
-//! and chunked accumulation hot paths.
+//! and chunked accumulation hot paths, plus scalar-vs-fastpath GEMM
+//! throughput at simulator-relevant sizes (the gate for the fast-path
+//! speedup claims — see DESIGN.md "Performance engineering").
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rapid_numerics::accumulate::dot_chunked;
 use rapid_numerics::fma::{fma, FmaMode};
 use rapid_numerics::format::FpFormat;
+use rapid_numerics::gemm::{
+    matmul_emulated, matmul_emulated_scalar, matmul_int, matmul_int_scalar,
+};
+use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
+use rapid_numerics::Tensor;
 use std::hint::black_box;
 
 fn bench_numerics(c: &mut Criterion) {
@@ -37,5 +44,49 @@ fn bench_numerics(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_numerics);
+/// Scalar reference vs fast-path GEMM at the 128×128×128 size the core
+/// simulator and refnet sweeps live at. The two variants are bit-exact
+/// (see `fastpath_bitexact`), so the throughput ratio is a pure
+/// implementation speedup.
+fn bench_gemm_fastpath(c: &mut Criterion) {
+    const M: usize = 128;
+    const K: usize = 128;
+    const N: usize = 128;
+    const CHUNK: usize = 64;
+    let a = Tensor::random_uniform(vec![M, K], -1.0, 1.0, 901);
+    let b = Tensor::random_uniform(vec![K, N], -1.0, 1.0, 902);
+    let macs = (M * K * N) as u64;
+
+    let float_modes: [(&str, FmaMode); 2] =
+        [("fp16", FmaMode::Fp16), ("hfp8", FmaMode::hfp8_fwd_default())];
+    for (name, mode) in float_modes {
+        let mut g = c.benchmark_group(format!("gemm_{name}_128"));
+        g.throughput(Throughput::Elements(macs));
+        g.bench_function("scalar", |bch| {
+            bch.iter(|| black_box(matmul_emulated_scalar(mode, black_box(&a), &b, CHUNK)))
+        });
+        g.bench_function("fast", |bch| {
+            bch.iter(|| black_box(matmul_emulated(mode, black_box(&a), &b, CHUNK)))
+        });
+        g.finish();
+    }
+
+    let int_formats: [(&str, IntFormat); 2] =
+        [("int4", IntFormat::Int4), ("int2", IntFormat::Int2)];
+    for (name, fmt) in int_formats {
+        let qa = QuantParams::from_abs_max(fmt, Signedness::Signed, a.max_abs());
+        let qb = QuantParams::from_abs_max(fmt, Signedness::Signed, b.max_abs());
+        let mut g = c.benchmark_group(format!("gemm_{name}_128"));
+        g.throughput(Throughput::Elements(macs));
+        g.bench_function("scalar", |bch| {
+            bch.iter(|| black_box(matmul_int_scalar(black_box(&a), &b, qa, qb, CHUNK)))
+        });
+        g.bench_function("fast", |bch| {
+            bch.iter(|| black_box(matmul_int(black_box(&a), &b, qa, qb, CHUNK)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_numerics, bench_gemm_fastpath);
 criterion_main!(benches);

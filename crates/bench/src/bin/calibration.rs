@@ -5,13 +5,15 @@
 
 use rapid_arch::geometry::CoreletConfig;
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, mean, section};
+use rapid_bench::{compare, mean, num_threads, par_map, section};
 use rapid_compiler::mapping::map_layer;
 use rapid_numerics::Tensor;
 use rapid_sim::gemm::{CoreSim, GemmJob};
 use rapid_workloads::graph::Op;
+use std::time::Instant;
 
 fn main() {
+    let start = Instant::now();
     section("E9 — analytical model vs cycle simulator (GEMM sweep, 1 core / 2 corelets)");
     println!(
         "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10} {:>8}",
@@ -28,30 +30,42 @@ fn main() {
         (7, 100, 70),
         (33, 130, 65),
     ];
+    // One job per (shape, precision); the simulations are independent, so
+    // fan them out over the worker pool and print in sweep order after.
+    let jobs: Vec<(usize, usize, usize, usize, Precision)> = shapes
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &(m, k, n))| {
+            [Precision::Fp16, Precision::Hfp8, Precision::Int4]
+                .into_iter()
+                .map(move |p| (i, m, k, n, p))
+        })
+        .collect();
+    let rows = par_map(&jobs, |&(i, m, k, n, p)| {
+        let job = GemmJob {
+            a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, 400 + i as u64),
+            b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, 500 + i as u64),
+            precision: p,
+        };
+        let r = core.run_gemm(&job);
+        let op = Op::Gemm { m: m as u64, k: k as u64, n: n as u64, weighted: true };
+        let predicted = map_layer(&op, p, 1, &corelet, 2).total_cycles();
+        let err = (predicted - r.cycles as f64).abs() / r.cycles as f64;
+        (m, k, n, p, r.cycles, predicted, err)
+    });
     let mut errors = Vec::new();
-    for (i, &(m, k, n)) in shapes.iter().enumerate() {
-        for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4] {
-            let job = GemmJob {
-                a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, 400 + i as u64),
-                b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, 500 + i as u64),
-                precision: p,
-            };
-            let r = core.run_gemm(&job);
-            let op = Op::Gemm { m: m as u64, k: k as u64, n: n as u64, weighted: true };
-            let predicted = map_layer(&op, p, 1, &corelet, 2).total_cycles();
-            let err = (predicted - r.cycles as f64).abs() / r.cycles as f64;
-            errors.push(err);
-            println!(
-                "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10.0} {:>7.2}%",
-                p.to_string(),
-                m,
-                k,
-                n,
-                r.cycles,
-                predicted,
-                err * 100.0
-            );
-        }
+    for (m, k, n, p, cycles, predicted, err) in rows {
+        errors.push(err);
+        println!(
+            "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10.0} {:>7.2}%",
+            p.to_string(),
+            m,
+            k,
+            n,
+            cycles,
+            predicted,
+            err * 100.0
+        );
     }
     println!();
     compare(
@@ -61,4 +75,9 @@ fn main() {
     );
     let max = errors.iter().cloned().fold(0.0f64, f64::max);
     compare("worst-case calibration error", format!("{:.2}%", max * 100.0), "n/a");
+    println!(
+        "\ntotal wall-clock: {:.2}s ({} worker threads)",
+        start.elapsed().as_secs_f64(),
+        num_threads().min(jobs.len())
+    );
 }

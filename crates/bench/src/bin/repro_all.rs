@@ -1,13 +1,20 @@
-//! Runs every experiment binary's logic in sequence — the single command
-//! that regenerates the whole evaluation (the source of EXPERIMENTS.md).
+//! Runs every experiment binary's logic — the single command that
+//! regenerates the whole evaluation (the source of EXPERIMENTS.md).
 //!
 //! `cargo run -p rapid-bench --bin repro_all --release`
+//!
+//! The experiments are independent processes, so they fan out over the
+//! harness worker pool (`RAPID_THREADS` caps it); each binary's output is
+//! captured and printed in the canonical order once it completes.
 
+use rapid_bench::{num_threads, par_map};
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
+    let start = Instant::now();
     let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let dir = exe.parent().expect("bin dir").to_path_buf();
     let bins = [
         "fig10_chip_table",
         "fig4c_area_power",
@@ -25,13 +32,24 @@ fn main() {
         "batch_sweep",
         "energy_breakdown",
     ];
-    for bin in bins {
+    let outputs = par_map(&bins, |bin| {
         let path = dir.join(bin);
-        println!("\n############ {bin} ############");
-        let status = Command::new(&path)
-            .status()
+        let out = Command::new(&path)
+            .output()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        assert!(status.success(), "{bin} failed");
+        (out.status.success(), out.stdout, out.stderr)
+    });
+    for (bin, (ok, stdout, stderr)) in bins.iter().zip(outputs) {
+        println!("\n############ {bin} ############");
+        print!("{}", String::from_utf8_lossy(&stdout));
+        if !stderr.is_empty() {
+            eprint!("{}", String::from_utf8_lossy(&stderr));
+        }
+        assert!(ok, "{bin} failed");
     }
-    println!("\nall experiments regenerated");
+    println!(
+        "\nall experiments regenerated in {:.2}s wall-clock ({} worker threads)",
+        start.elapsed().as_secs_f64(),
+        num_threads().min(bins.len())
+    );
 }

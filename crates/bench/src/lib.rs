@@ -55,24 +55,52 @@ pub fn train_step(net: &Network, p: Precision) -> TrainingResult {
     evaluate_training(net, &sys, p, 512, &ModelConfig::default())
 }
 
-/// Runs `f` over the whole suite in parallel, preserving suite order.
-pub fn suite_map<T: Send>(f: impl Fn(&Network) -> T + Sync) -> Vec<(String, T)> {
-    let suite = benchmark_suite();
-    let results = parking_lot::Mutex::new(Vec::new());
+pub use rapid_numerics::gemm::num_threads;
+
+/// Runs `f` over `items` on a bounded worker pool, preserving input order
+/// in the returned vector.
+///
+/// The pool holds `num_threads().min(items.len())` workers (so the
+/// `RAPID_THREADS` environment knob caps harness parallelism too) pulling
+/// work items off a shared index — long and short experiments interleave
+/// instead of each getting a dedicated thread.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    let workers = num_threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = parking_lot::Mutex::new(Vec::with_capacity(items.len()));
     crossbeam::scope(|s| {
-        for (i, net) in suite.iter().enumerate() {
+        for _ in 0..workers {
+            let next = &next;
             let results = &results;
             let f = &f;
-            s.spawn(move |_| {
-                let r = f(net);
-                results.lock().push((i, net.name.clone(), r));
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().push((i, r));
             });
         }
     })
     .expect("worker panicked");
     let mut v = results.into_inner();
-    v.sort_by_key(|&(i, _, _)| i);
-    v.into_iter().map(|(_, name, r)| (name, r)).collect()
+    v.sort_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs `f` over the whole suite in parallel, preserving suite order.
+pub fn suite_map<T: Send>(f: impl Fn(&Network) -> T + Sync) -> Vec<(String, T)> {
+    let suite = benchmark_suite();
+    let results = par_map(&suite, &f);
+    suite.into_iter().zip(results).map(|(net, r)| (net.name, r)).collect()
 }
 
 /// Arithmetic mean (0.0 for an empty slice).
@@ -97,6 +125,15 @@ pub fn min_max(v: &[f64]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn par_map_preserves_order_and_covers_all_items() {
+        let items: Vec<usize> = (0..57).collect();
+        let doubled = par_map(&items, |&i| i * 2);
+        assert_eq!(doubled, items.iter().map(|&i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(par_map(&empty, |&i: &usize| i).is_empty());
+    }
 
     #[test]
     fn suite_map_preserves_order() {

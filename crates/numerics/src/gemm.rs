@@ -5,10 +5,26 @@
 //! zero-gating — and report datapath statistics used by the power model.
 //! They are *functional* models; timing lives in `rapid-model` (analytical)
 //! and `rapid-sim` (cycle-approximate).
+//!
+//! # Fast path vs. scalar reference
+//!
+//! Each emulated kernel exists twice: a fast path (the default entry
+//! points) and a scalar reference (`matmul_emulated_scalar`,
+//! `matmul_int_scalar`, …) that drives the accumulator structs one FMA at a
+//! time. The fast path quantizes operands once ([`crate::qtensor::QTensor`]),
+//! replaces the HFP8 pipeline's per-FMA format conversions with exhaustive
+//! product tables ([`crate::lut`]), walks B through transposed k-panels,
+//! register-blocks columns to overlap the serial FP16 rounding chains, and
+//! fans rows out across threads. It is required to be *bit-exact* against
+//! the scalar reference — same output bits, same [`GemmStats`] — which
+//! `tests/fastpath_bitexact.rs` verifies property-style; the merge of
+//! per-band statistics is deterministic regardless of thread count.
 
 use crate::accumulate::ChunkAccumulator;
 use crate::fma::FmaMode;
-use crate::int::{IntAccumulator, QuantParams};
+use crate::int::{IntAccumulator, QuantParams, Signedness};
+use crate::lut::{is_zero_code, product_lut};
+use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 use crate::NumericsError;
 
@@ -52,6 +68,146 @@ fn check_matmul_shapes(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), 
     Ok((a.shape()[0], a.shape()[1], b.shape()[1]))
 }
 
+/// Number of worker threads the row-parallel kernels fan out across.
+///
+/// Reads the `RAPID_THREADS` environment variable (any integer ≥ 1);
+/// otherwise uses the machine's available parallelism. Results are
+/// bit-identical for every thread count — threading only partitions output
+/// rows.
+pub fn num_threads() -> usize {
+    std::env::var("RAPID_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Kernels stay single-threaded below this many MACs; thread spawn latency
+/// would dominate smaller problems.
+const PAR_MIN_MACS: usize = 1 << 18;
+
+/// Columns per register block in the float inner kernels. The FP16 chunk
+/// update is a serial rounding chain; blocking this many independent output
+/// columns per A-row pass lets the chains overlap.
+const JR: usize = 16;
+
+/// FP16 (DLFloat) rounding of an in-kernel accumulation sum, specialized
+/// for the value domain the dot-product kernels produce: `x` is the f32 sum
+/// of an FP16-lattice register and an exact operand product, so it is
+/// always finite (far below f32 overflow) and is `-0.0` only when the
+/// lattice register already was. That removes the NaN/infinity/signed-zero
+/// branches of the general [`fp16_round`]; agreement with it over the whole
+/// domain is pinned by `fast_rounder_matches_general_quantizer`.
+#[inline(always)]
+fn fp16_round_sum(x: f32) -> f32 {
+    // FP16 (1,6,9), bias 31: e_min = -30, e_max = 32.
+    const MIN_NORMAL: u32 = ((-30 + 127) as u32) << 23;
+    const HALF_MIN: u32 = ((-31 + 127) as u32) << 23;
+    const MAX_BITS: u32 = ((32 + 127) as u32) << 23 | (((1u32 << 9) - 1) << 14);
+    let bits = x.to_bits();
+    // `b << 1` orders f32 bit patterns by |x| regardless of sign, so the
+    // range checks work on the raw pattern without masking the sign out.
+    // One compare fences off both rare cases (underflow-flush, saturate);
+    // in-range, RNE can neither overflow `MAX_BITS` (it lies on the 9-bit
+    // grid, so rounding overflows it iff the unrounded magnitude does) nor
+    // carry into the sign bit.
+    let mag2 = bits << 1;
+    if mag2.wrapping_sub(MIN_NORMAL << 1) > (MAX_BITS << 1) - (MIN_NORMAL << 1) {
+        let sign = bits & 0x8000_0000;
+        if mag2 < MIN_NORMAL << 1 {
+            // No subnormals: nearest of {0, min_normal}, ties to zero.
+            let r = if mag2 > HALF_MIN << 1 { MIN_NORMAL } else { 0 };
+            return f32::from_bits(sign | r);
+        }
+        return f32::from_bits(sign | MAX_BITS); // saturate
+    }
+    // RNE of the 23-bit mantissa down to 9 bits, on the signed pattern.
+    const SHIFT: u32 = 23 - 9;
+    const LSB: u32 = 1 << SHIFT;
+    f32::from_bits((bits + ((LSB >> 1) - 1 + ((bits >> SHIFT) & 1))) & !(LSB - 1))
+}
+
+/// [`fp16_round_sum`] with the rare cases handled by selects instead of
+/// branches, for the register-blocked accumulation loops: a branch-free
+/// body (together with hoisting the LUT loads into a separate pass) is what
+/// lets the compiler vectorize the per-column rounding lanes. Agreement
+/// with the general quantizer is pinned by the same test.
+#[inline(always)]
+fn fp16_round_sum_sel(x: f32) -> f32 {
+    const MIN_NORMAL: u32 = ((-30 + 127) as u32) << 23;
+    const HALF_MIN: u32 = ((-31 + 127) as u32) << 23;
+    const MAX_BITS: u32 = ((32 + 127) as u32) << 23 | (((1u32 << 9) - 1) << 14);
+    const SHIFT: u32 = 23 - 9;
+    const LSB: u32 = 1 << SHIFT;
+    let bits = x.to_bits();
+    let sign = bits & 0x8000_0000;
+    let mag2 = bits << 1;
+    let rounded = (bits + ((LSB >> 1) - 1 + ((bits >> SHIFT) & 1))) & !(LSB - 1);
+    let small = if mag2 > HALF_MIN << 1 { MIN_NORMAL } else { 0 };
+    let r = if mag2 < MIN_NORMAL << 1 { small } else { rounded & 0x7fff_ffff };
+    let r = if mag2 > MAX_BITS << 1 { MAX_BITS } else { r };
+    f32::from_bits(sign | r)
+}
+
+/// Bitmask of zero positions, one bit per element (LSB-first within each
+/// word). Zero-gating statistics become word-level popcounts instead of a
+/// test per MAC in the hot loops.
+fn zero_mask_into(words: &mut [u64], is_zero: impl Fn(usize) -> bool, len: usize) {
+    words.fill(0);
+    for i in 0..len {
+        if is_zero(i) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+}
+
+/// Number of MACs gated in a dot product: positions where either operand is
+/// zero, counted as the popcount of the union of the zero masks.
+fn gated_count(za: &[u64], zb: &[u64]) -> u64 {
+    za.iter().zip(zb).map(|(&x, &y)| u64::from((x | y).count_ones())).sum()
+}
+
+/// Runs `work` over horizontal bands of the row-major `m × n` output in
+/// parallel. `work(row0, band)` fills rows `row0 ..` and returns its
+/// statistics; bands merge in row order so the total is deterministic.
+fn par_rows(
+    od: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    work: &(impl Fn(usize, &mut [f32]) -> GemmStats + Sync),
+) -> GemmStats {
+    let threads = num_threads().min(m);
+    if threads <= 1 || m.saturating_mul(n).saturating_mul(k) < PAR_MIN_MACS {
+        return work(0, od);
+    }
+    let rows_per = m.div_ceil(threads);
+    let mut stats = GemmStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = od
+            .chunks_mut(rows_per * n)
+            .enumerate()
+            .map(|(t, band)| s.spawn(move || work(t * rows_per, band)))
+            .collect();
+        for h in handles {
+            stats.merge(h.join().expect("gemm worker thread panicked"));
+        }
+    });
+    stats
+}
+
+/// Transposes a row-major `[rows, cols]` slice into `[cols, rows]` panels so
+/// dot products walk both operands contiguously.
+fn transposed_panels<T: Copy + Default>(src: &[T], rows: usize, cols: usize) -> Vec<T> {
+    let mut dst = vec![T::default(); src.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+    dst
+}
+
 /// Reference FP32 matrix multiply `[m,k] × [k,n] → [m,n]`.
 ///
 /// # Panics
@@ -69,18 +225,28 @@ pub fn matmul_f32(a: &Tensor, b: &Tensor) -> Tensor {
 /// `[m,k]` and `[k,n]` matrices.
 pub fn matmul_f32_checked(a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
     let (m, k, n) = check_matmul_shapes(a, b)?;
-    let (ad, bd) = (a.as_slice(), b.as_slice());
     let mut out = Tensor::zeros(vec![m, n]);
-    let od = out.as_mut_slice();
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f64;
-            for p in 0..k {
-                acc += f64::from(ad[i * k + p]) * f64::from(bd[p * n + j]);
-            }
-            od[i * n + j] = acc as f32;
-        }
+    if m == 0 || n == 0 {
+        return Ok(out);
     }
+    let ad = a.as_slice();
+    let bt = transposed_panels(b.as_slice(), k, n);
+    let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+        let rows = band.len() / n;
+        for r in 0..rows {
+            let arow = &ad[(row0 + r) * k..(row0 + r + 1) * k];
+            for j in 0..n {
+                let bcol = &bt[j * k..(j + 1) * k];
+                let mut acc = 0.0f64;
+                for (&x, &y) in arow.iter().zip(bcol) {
+                    acc += f64::from(x) * f64::from(y);
+                }
+                band[r * n + j] = acc as f32;
+            }
+        }
+        GemmStats::default()
+    };
+    par_rows(out.as_mut_slice(), m, n, k, &work);
     Ok(out)
 }
 
@@ -95,6 +261,257 @@ pub fn matmul_f32_checked(a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsErro
 ///
 /// Panics if the shapes are not compatible or `chunk_len == 0`.
 pub fn matmul_emulated(mode: FmaMode, a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
+    matmul_emulated_checked(mode, a, b, chunk_len).expect("incompatible matmul shapes")
+}
+
+/// [`matmul_emulated`], returning an error instead of panicking on
+/// incompatible shapes.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] if the operands are not
+/// `[m,k]` and `[k,n]` matrices.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+pub fn matmul_emulated_checked(
+    mode: FmaMode,
+    a: &Tensor,
+    b: &Tensor,
+    chunk_len: usize,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let (m, k, n) = check_matmul_shapes(a, b)?;
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let (fa, fb) = mode.operand_formats();
+    let qa = QTensor::quantize(a, fa);
+    let qb = QTensor::quantize(b, fb);
+    let mut out = Tensor::zeros(vec![m, n]);
+    if m == 0 || n == 0 {
+        return Ok((out, GemmStats::default()));
+    }
+    let stats = match (qa.codes(), qb.codes()) {
+        (Some(ac), Some(bc)) => {
+            // 8-bit operands: every FP9 conversion and operand product is
+            // precomputed in a 64K-entry table indexed by the code pair.
+            let lut = product_lut(fa, fb);
+            // Rewrite zero products as -0.0: IEEE `x + (-0.0)` is the
+            // identity on every f32 (both zero signs included), so the MAC
+            // loop can add unconditionally instead of branching on gated
+            // products — bit-exactly.
+            let products: Vec<f32> =
+                lut.products().iter().map(|&p| if p == 0.0 { -0.0 } else { p }).collect();
+            let bt = transposed_panels(bc, k, n);
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                lut_band(ac, &bt, &products, row0, k, n, chunk_len, band)
+            };
+            par_rows(out.as_mut_slice(), m, n, k, &work)
+        }
+        _ => {
+            // FP16 operands: the product of two quantized values is exact in
+            // f32, so the kernel works on lattice values directly.
+            let bt = transposed_panels(qb.values().as_slice(), k, n);
+            let av = qa.values().as_slice();
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                fp16_band(av, &bt, row0, k, n, chunk_len, band)
+            };
+            par_rows(out.as_mut_slice(), m, n, k, &work)
+        }
+    };
+    Ok((out, stats))
+}
+
+/// Fills one row band of an 8-bit-operand GEMM from the product LUT.
+///
+/// Zero-gating statistics come from per-row/per-column zero bitmasks
+/// (popcounts of their unions), keeping the MAC loop free of counting.
+#[allow(clippy::too_many_arguments)]
+fn lut_band(
+    ac: &[u8],
+    bt: &[u8],
+    products: &[f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    chunk_len: usize,
+    band: &mut [f32],
+) -> GemmStats {
+    let products: &[f32; 1 << 16] = products.try_into().expect("product LUT is 64K entries");
+    let rows = band.len() / n;
+    let words = k.div_ceil(64);
+    let mut zb = vec![0u64; n * words];
+    for j in 0..n {
+        let col = &bt[j * k..(j + 1) * k];
+        zero_mask_into(&mut zb[j * words..(j + 1) * words], |p| is_zero_code(col[p]), k);
+    }
+    let mut za = vec![0u64; words];
+    let mut gated = 0u64;
+    for r in 0..rows {
+        let arow = &ac[(row0 + r) * k..(row0 + r + 1) * k];
+        zero_mask_into(&mut za, |p| is_zero_code(arow[p]), k);
+        for j in 0..n {
+            gated += gated_count(&za, &zb[j * words..(j + 1) * words]);
+        }
+        let orow = &mut band[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + JR <= n {
+            let bcols = std::array::from_fn(|t| &bt[(j + t) * k..(j + t + 1) * k]);
+            let res = dot_lut_block::<JR>(arow, bcols, products, chunk_len);
+            orow[j..j + JR].copy_from_slice(&res);
+            j += JR;
+        }
+        while j < n {
+            let res = dot_lut_block::<1>(arow, [&bt[j * k..(j + 1) * k]], products, chunk_len);
+            orow[j] = res[0];
+            j += 1;
+        }
+    }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0 }
+}
+
+/// Chunk-accumulated dot products of one A-row of codes against `B`
+/// columns, all walking the same k-panel positions so the per-column FP16
+/// rounding chains execute independently.
+///
+/// The chunk update uses a plain f32 add where the scalar reference
+/// computes `(f64(acc) + f64(prod)) as f32`: double rounding through f64 is
+/// innocuous for the sum of two f32 values (53 ≥ 2·24 + 2), so the results
+/// are bit-identical.
+#[inline]
+fn dot_lut_block<const B: usize>(
+    arow: &[u8],
+    bcols: [&[u8]; B],
+    products: &[f32; 1 << 16],
+    chunk_len: usize,
+) -> [f32; B] {
+    let k = arow.len();
+    let bcols: [&[u8]; B] = std::array::from_fn(|t| &bcols[t][..k]);
+    let mut outer = [0.0f32; B];
+    let mut chunk = [0.0f32; B];
+    let mut in_chunk = 0usize;
+    let mut prods = [0.0f32; B];
+    for (p, &ca) in arow.iter().enumerate() {
+        let base = usize::from(ca) << 8;
+        let prow: &[f32; 256] =
+            products[base..base + 256].try_into().expect("256-entry LUT row");
+        // Zero products (gated, or FP9 underflow under extreme biases) are
+        // stored as -0.0 — the IEEE additive identity — so the add and the
+        // re-round leave an FP16-lattice chunk register unchanged without a
+        // branch. Gathering into a register array first leaves the
+        // accumulation pass load- and branch-free, so it vectorizes.
+        for t in 0..B {
+            prods[t] = prow[usize::from(bcols[t][p])];
+        }
+        for t in 0..B {
+            chunk[t] = fp16_round_sum_sel(chunk[t] + prods[t]);
+        }
+        in_chunk += 1;
+        if in_chunk == chunk_len {
+            for t in 0..B {
+                outer[t] += chunk[t];
+                chunk[t] = 0.0;
+            }
+            in_chunk = 0;
+        }
+    }
+    std::array::from_fn(|t| fp16_round_sum(outer[t] + chunk[t]))
+}
+
+/// Fills one row band of an FP16-operand GEMM on lattice values, with the
+/// same popcount-based gating statistics as [`lut_band`].
+fn fp16_band(
+    av: &[f32],
+    bt: &[f32],
+    row0: usize,
+    k: usize,
+    n: usize,
+    chunk_len: usize,
+    band: &mut [f32],
+) -> GemmStats {
+    let rows = band.len() / n;
+    let words = k.div_ceil(64);
+    let mut zb = vec![0u64; n * words];
+    for j in 0..n {
+        let col = &bt[j * k..(j + 1) * k];
+        zero_mask_into(&mut zb[j * words..(j + 1) * words], |p| col[p] == 0.0, k);
+    }
+    let mut za = vec![0u64; words];
+    let mut gated = 0u64;
+    for r in 0..rows {
+        let arow = &av[(row0 + r) * k..(row0 + r + 1) * k];
+        zero_mask_into(&mut za, |p| arow[p] == 0.0, k);
+        for j in 0..n {
+            gated += gated_count(&za, &zb[j * words..(j + 1) * words]);
+        }
+        let orow = &mut band[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + JR <= n {
+            let bcols = std::array::from_fn(|t| &bt[(j + t) * k..(j + t + 1) * k]);
+            let res = dot_fp16_block::<JR>(arow, bcols, chunk_len);
+            orow[j..j + JR].copy_from_slice(&res);
+            j += JR;
+        }
+        while j < n {
+            let res = dot_fp16_block::<1>(arow, [&bt[j * k..(j + 1) * k]], chunk_len);
+            orow[j] = res[0];
+            j += 1;
+        }
+    }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0 }
+}
+
+/// FP16-mode analogue of [`dot_lut_block`]: products of two FP16 lattice
+/// values are exact in f32 and never underflow, so a product is zero
+/// exactly when a gated FMA would have skipped it.
+#[inline]
+fn dot_fp16_block<const B: usize>(
+    arow: &[f32],
+    bcols: [&[f32]; B],
+    chunk_len: usize,
+) -> [f32; B] {
+    let k = arow.len();
+    let bcols: [&[f32]; B] = std::array::from_fn(|t| &bcols[t][..k]);
+    let mut outer = [0.0f32; B];
+    let mut chunk = [0.0f32; B];
+    let mut in_chunk = 0usize;
+    let mut bvals = [0.0f32; B];
+    for (p, &x) in arow.iter().enumerate() {
+        // Strided column loads first; the accumulation pass is then pure
+        // vertical arithmetic and vectorizes. A zero product (operands are
+        // lattice values, whose products never underflow) is remapped to
+        // -0.0 — the IEEE additive identity — which preserves the chunk
+        // register through the re-round exactly like the scalar
+        // reference's zero-gate skip.
+        for t in 0..B {
+            bvals[t] = bcols[t][p];
+        }
+        for t in 0..B {
+            let prod = x * bvals[t];
+            let gated = f32::from_bits(prod.to_bits() | 0x8000_0000);
+            let prod = if prod == 0.0 { gated } else { prod };
+            chunk[t] = fp16_round_sum_sel(chunk[t] + prod);
+        }
+        in_chunk += 1;
+        if in_chunk == chunk_len {
+            for t in 0..B {
+                outer[t] += chunk[t];
+                chunk[t] = 0.0;
+            }
+            in_chunk = 0;
+        }
+    }
+    std::array::from_fn(|t| fp16_round_sum(outer[t] + chunk[t]))
+}
+
+/// Scalar reference for [`matmul_emulated`]: drives a [`ChunkAccumulator`]
+/// one FMA at a time, exactly as the MPE datapath model does. The fast path
+/// must reproduce its output and statistics bit-for-bit.
+pub fn matmul_emulated_scalar(
+    mode: FmaMode,
+    a: &Tensor,
+    b: &Tensor,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
     let (m, k, n) = check_matmul_shapes(a, b).expect("incompatible matmul shapes");
     let (fa, fb) = mode.operand_formats();
     let qa: Vec<f32> = a.as_slice().iter().map(|&x| fa.quantize(x)).collect();
@@ -148,12 +565,88 @@ pub fn matmul_int(
     qb: QuantParams,
     chunk_len: usize,
 ) -> (Tensor, GemmStats) {
-    let (m, k, n) = check_matmul_shapes(a, b).expect("incompatible matmul shapes");
+    matmul_int_checked(a, b, qa, qb, chunk_len).expect("incompatible matmul shapes")
+}
+
+/// [`matmul_int`], returning an error instead of panicking on incompatible
+/// shapes.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] if the operands are not
+/// `[m,k]` and `[k,n]` matrices.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+pub fn matmul_int_checked(
+    a: &Tensor,
+    b: &Tensor,
+    qa: QuantParams,
+    qb: QuantParams,
+    chunk_len: usize,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let (m, k, n) = check_matmul_shapes(a, b)?;
+    assert!(chunk_len > 0, "chunk length must be positive");
     let ca: Vec<i8> = a.as_slice().iter().map(|&x| qa.quantize(x)).collect();
     let cb: Vec<i8> = b.as_slice().iter().map(|&x| qb.quantize(x)).collect();
     let out_scale = qa.scale() * qb.scale();
     let mut out = Tensor::zeros(vec![m, n]);
-    let od = out.as_mut_slice();
+    if m == 0 || n == 0 {
+        return Ok((out, GemmStats::default()));
+    }
+    // The INT16 chunk register cannot saturate when the worst-case chunk
+    // magnitude fits; then plain i32 window sums are bit-exact and the
+    // packed fast path applies. Otherwise (illegally long chunks) fall back
+    // to the saturating scalar accumulator.
+    let worst = |p: QuantParams| {
+        let (lo, hi) = p.code_range();
+        i64::from(lo.unsigned_abs().max(hi.unsigned_abs()))
+    };
+    let window = chunk_len.min(k.max(1)) as i64;
+    let stats = if window * worst(qa) * worst(qb) <= i64::from(i16::MAX) {
+        let cbt = transposed_panels(&cb, k, n);
+        let pa = PackedPanel::pack(&ca, m, k, qa);
+        let pb = PackedPanel::pack(&cbt, n, k, qb);
+        let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+            int_band(&pa, &pb, row0, k, n, chunk_len, out_scale, band)
+        };
+        par_rows(out.as_mut_slice(), m, n, k, &work)
+    } else {
+        matmul_int_codes_scalar(&ca, &cb, m, k, n, chunk_len, out_scale, out.as_mut_slice())
+    };
+    Ok((out, stats))
+}
+
+/// Scalar reference for [`matmul_int`]: drives an [`IntAccumulator`] per
+/// output element, including its saturating INT16 chunk register.
+pub fn matmul_int_scalar(
+    a: &Tensor,
+    b: &Tensor,
+    qa: QuantParams,
+    qb: QuantParams,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
+    let (m, k, n) = check_matmul_shapes(a, b).expect("incompatible matmul shapes");
+    let ca: Vec<i8> = a.as_slice().iter().map(|&x| qa.quantize(x)).collect();
+    let cb: Vec<i8> = b.as_slice().iter().map(|&x| qb.quantize(x)).collect();
+    let mut out = Tensor::zeros(vec![m, n]);
+    let out_scale = qa.scale() * qb.scale();
+    let stats = matmul_int_codes_scalar(&ca, &cb, m, k, n, chunk_len, out_scale, out.as_mut_slice());
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matmul_int_codes_scalar(
+    ca: &[i8],
+    cb: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    chunk_len: usize,
+    out_scale: f32,
+    od: &mut [f32],
+) -> GemmStats {
     let mut stats = GemmStats::default();
     for i in 0..m {
         for j in 0..n {
@@ -167,7 +660,125 @@ pub fn matmul_int(
             od[i * n + j] = acc.finish() as f32 * out_scale;
         }
     }
-    (out, stats)
+    stats
+}
+
+/// Integer codes packed at the format's sub-byte density, row-major with
+/// byte-aligned rows (A rows and Bᵀ columns both become contiguous packed
+/// k-panels).
+struct PackedPanel {
+    bytes: Vec<u8>,
+    /// Bytes per packed row.
+    stride: usize,
+    bits: u32,
+    /// Codes per byte.
+    per: usize,
+    signed: bool,
+}
+
+impl PackedPanel {
+    fn pack(codes: &[i8], rows: usize, cols: usize, params: QuantParams) -> Self {
+        let bits = params.format().bits();
+        let per = params.format().per_byte();
+        let stride = cols.div_ceil(per);
+        let mask = (1u16 << bits) - 1;
+        let mut bytes = vec![0u8; rows * stride];
+        for r in 0..rows {
+            for c in 0..cols {
+                let code = codes[r * cols + c];
+                bytes[r * stride + c / per] |=
+                    (((code as u16) & mask) << ((c % per) as u32 * bits)) as u8;
+            }
+        }
+        let signed = params.signedness() == Signedness::Signed;
+        Self { bytes, stride, bits, per, signed }
+    }
+
+    fn row(&self, r: usize) -> &[u8] {
+        &self.bytes[r * self.stride..(r + 1) * self.stride]
+    }
+
+    /// Decodes packed row `r` into `out` (length = the panel's column
+    /// count), sign- or zero-extending according to the panel's signedness.
+    /// Decoding is O(row) and amortized across all the dot products that
+    /// reuse the row, so the MAC loops run on plain `i8` codes.
+    fn decode_row_into(&self, r: usize, out: &mut [i8]) {
+        let row = self.row(r);
+        let mask = ((1u16 << self.bits) - 1) as u8;
+        let ext = 8 - self.bits;
+        let per_shift = self.per.trailing_zeros();
+        let per_mask = self.per - 1;
+        for (c, o) in out.iter_mut().enumerate() {
+            let raw = (row[c >> per_shift] >> ((c & per_mask) as u32 * self.bits)) & mask;
+            *o = if self.signed { ((raw << ext) as i8) >> ext } else { raw as i8 };
+        }
+    }
+}
+
+/// Fills one row band of an integer GEMM from packed panels. Only called
+/// when the chunk guard in [`matmul_int_checked`] rules out INT16
+/// saturation, so i32 window sums match the hardware accumulator exactly.
+///
+/// The packed B panel is decoded once per band and each packed A row once
+/// per row; the dot products then run branch-free over `i8` codes (a gated
+/// MAC contributes a zero product, so only the statistics need the gate,
+/// and those come from zero-mask popcounts).
+#[allow(clippy::too_many_arguments)]
+fn int_band(
+    pa: &PackedPanel,
+    pb: &PackedPanel,
+    row0: usize,
+    k: usize,
+    n: usize,
+    chunk_len: usize,
+    out_scale: f32,
+    band: &mut [f32],
+) -> GemmStats {
+    let rows = band.len() / n;
+    let words = k.div_ceil(64);
+    let mut bdec = vec![0i8; n * k];
+    let mut zb = vec![0u64; n * words];
+    for j in 0..n {
+        let col = &mut bdec[j * k..(j + 1) * k];
+        pb.decode_row_into(j, col);
+        zero_mask_into(&mut zb[j * words..(j + 1) * words], |p| col[p] == 0, k);
+    }
+    let mut adec = vec![0i8; k];
+    let mut za = vec![0u64; words];
+    let mut gated = 0u64;
+    for r in 0..rows {
+        pa.decode_row_into(row0 + r, &mut adec);
+        zero_mask_into(&mut za, |p| adec[p] == 0, k);
+        let orow = &mut band[r * n..(r + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            gated += gated_count(&za, &zb[j * words..(j + 1) * words]);
+            let dot = dot_int_windows(&adec, &bdec[j * k..(j + 1) * k], chunk_len);
+            *o = dot as f32 * out_scale;
+        }
+    }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0 }
+}
+
+/// Chunk-windowed integer dot product over decoded codes: i32 sums per
+/// chunk window (saturation-free by the caller's guard), i64 outer
+/// accumulation. The window sums are plain multiply-adds the compiler can
+/// vectorize.
+#[inline]
+fn dot_int_windows(a: &[i8], b: &[i8], chunk_len: usize) -> i64 {
+    let mut outer = 0i64;
+    let mut p0 = 0usize;
+    let k = a.len();
+    while p0 < k {
+        let len = chunk_len.min(k - p0);
+        let sum: i32 = a[p0..p0 + len]
+            .iter()
+            .zip(&b[p0..p0 + len])
+            .map(|(&x, &y)| i32::from(x) * i32::from(y))
+            .sum();
+        outer += i64::from(sum);
+        p0 += len;
+    }
+    outer
 }
 
 /// Convolution geometry.
@@ -199,6 +810,19 @@ impl ConvSpec {
 ///
 /// Panics if `input` is not rank 4.
 pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
+    let mut out = Tensor::default();
+    im2col_into(input, kh, kw, spec, &mut out);
+    out
+}
+
+/// [`im2col`] into a caller-provided tensor, reusing its allocation. `out`
+/// is resized and fully overwritten; layer loops can pass the same scratch
+/// tensor every iteration to avoid the per-call allocation.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank 4.
+pub fn im2col_into(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec, out: &mut Tensor) {
     assert_eq!(input.shape().len(), 4, "im2col expects [n, c, h, w]");
     let (n, c, h, w) = (
         input.shape()[0],
@@ -208,32 +832,41 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
     );
     let ho = spec.out_dim(h, kh);
     let wo = spec.out_dim(w, kw);
-    let mut out = Tensor::zeros(vec![n * ho * wo, c * kh * kw]);
     let cols = c * kh * kw;
+    out.reset(vec![n * ho * wo, cols]);
+    let id = input.as_slice();
     let od = out.as_mut_slice();
     for ni in 0..n {
         for oy in 0..ho {
             for ox in 0..wo {
-                let row = (ni * ho + oy) * wo + ox;
+                let rb = ((ni * ho + oy) * wo + ox) * cols;
                 for ci in 0..c {
                     for ky in 0..kh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue; // padding rows stay zero from reset
+                        }
+                        let irow = (((ni * c) + ci) * h + iy as usize) * w;
+                        let ob = rb + (ci * kh + ky) * kw;
                         for kx in 0..kw {
-                            let iy = (oy * spec.stride + ky) as isize - spec.pad as isize;
                             let ix = (ox * spec.stride + kx) as isize - spec.pad as isize;
-                            let v = if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
-                            {
-                                input.get(&[ni, ci, iy as usize, ix as usize])
-                            } else {
-                                0.0
-                            };
-                            od[row * cols + (ci * kh + ky) * kw + kx] = v;
+                            if ix >= 0 && (ix as usize) < w {
+                                od[ob + kx] = id[irow + ix as usize];
+                            }
                         }
                     }
                 }
             }
         }
     }
-    out
+}
+
+/// Reusable scratch buffers for the convolution kernels: holds the im2col
+/// matrix so repeated forward passes (training loops, sweeps) stop paying a
+/// fresh allocation per call.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    cols: Tensor,
 }
 
 /// Reference FP32 convolution: input `[n, ci, h, w]`, weight
@@ -243,8 +876,21 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> Tensor {
 ///
 /// Panics if the operand ranks or channel counts are inconsistent.
 pub fn conv2d_f32(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
-    let out = conv2d_via_gemm(input, weight, spec, |cols, wmat| (matmul_f32(cols, wmat), GemmStats::default()));
-    out.0
+    conv2d_f32_with_scratch(input, weight, spec, &mut ConvScratch::default())
+}
+
+/// [`conv2d_f32`] reusing caller-provided scratch buffers.
+pub fn conv2d_f32_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut ConvScratch,
+) -> Tensor {
+    conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
+        Ok((matmul_f32(cols, wmat), GemmStats::default()))
+    })
+    .expect("inconsistent conv operand shapes")
+    .0
 }
 
 /// Emulated floating-point convolution through the FPU pipeline.
@@ -255,9 +901,37 @@ pub fn conv2d_emulated(
     mode: FmaMode,
     chunk_len: usize,
 ) -> (Tensor, GemmStats) {
-    conv2d_via_gemm(input, weight, spec, |cols, wmat| {
-        matmul_emulated(mode, cols, wmat, chunk_len)
+    conv2d_emulated_with_scratch(input, weight, spec, mode, chunk_len, &mut ConvScratch::default())
+}
+
+/// [`conv2d_emulated`] reusing caller-provided scratch buffers.
+pub fn conv2d_emulated_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    mode: FmaMode,
+    chunk_len: usize,
+    scratch: &mut ConvScratch,
+) -> (Tensor, GemmStats) {
+    conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
+        matmul_emulated_checked(mode, cols, wmat, chunk_len)
     })
+    .expect("inconsistent conv operand shapes")
+}
+
+/// Scalar reference for [`conv2d_emulated`] (scalar GEMM underneath); the
+/// fast convolution must match it bit-for-bit.
+pub fn conv2d_emulated_scalar(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    mode: FmaMode,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
+    conv2d_via_gemm(input, weight, spec, &mut ConvScratch::default(), |cols, wmat| {
+        Ok(matmul_emulated_scalar(mode, cols, wmat, chunk_len))
+    })
+    .expect("inconsistent conv operand shapes")
 }
 
 /// Emulated integer convolution through the FXU pipeline.
@@ -269,24 +943,56 @@ pub fn conv2d_int(
     qw: QuantParams,
     chunk_len: usize,
 ) -> (Tensor, GemmStats) {
-    conv2d_via_gemm(input, weight, spec, |cols, wmat| {
-        matmul_int(cols, wmat, qa, qw, chunk_len)
+    conv2d_int_with_scratch(input, weight, spec, qa, qw, chunk_len, &mut ConvScratch::default())
+}
+
+/// [`conv2d_int`] reusing caller-provided scratch buffers.
+pub fn conv2d_int_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    qa: QuantParams,
+    qw: QuantParams,
+    chunk_len: usize,
+    scratch: &mut ConvScratch,
+) -> (Tensor, GemmStats) {
+    conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
+        matmul_int_checked(cols, wmat, qa, qw, chunk_len)
     })
+    .expect("inconsistent conv operand shapes")
+}
+
+/// Scalar reference for [`conv2d_int`] (scalar GEMM underneath).
+pub fn conv2d_int_scalar(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    qa: QuantParams,
+    qw: QuantParams,
+    chunk_len: usize,
+) -> (Tensor, GemmStats) {
+    conv2d_via_gemm(input, weight, spec, &mut ConvScratch::default(), |cols, wmat| {
+        Ok(matmul_int_scalar(cols, wmat, qa, qw, chunk_len))
+    })
+    .expect("inconsistent conv operand shapes")
 }
 
 fn conv2d_via_gemm(
     input: &Tensor,
     weight: &Tensor,
     spec: ConvSpec,
-    mm: impl Fn(&Tensor, &Tensor) -> (Tensor, GemmStats),
-) -> (Tensor, GemmStats) {
-    assert_eq!(input.shape().len(), 4, "conv input must be [n, ci, h, w]");
-    assert_eq!(weight.shape().len(), 4, "conv weight must be [co, ci, kh, kw]");
-    assert_eq!(
-        input.shape()[1],
-        weight.shape()[1],
-        "input channel count must match weight"
-    );
+    scratch: &mut ConvScratch,
+    mm: impl Fn(&Tensor, &Tensor) -> Result<(Tensor, GemmStats), NumericsError>,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    if input.shape().len() != 4
+        || weight.shape().len() != 4
+        || input.shape()[1] != weight.shape()[1]
+    {
+        return Err(NumericsError::ShapeMismatch {
+            expected: "input [n,ci,h,w] × weight [co,ci,kh,kw]".to_string(),
+            actual: format!("input {:?} × weight {:?}", input.shape(), weight.shape()),
+        });
+    }
     let (n, _ci, h, w) = (
         input.shape()[0],
         input.shape()[1],
@@ -301,32 +1007,35 @@ fn conv2d_via_gemm(
     );
     let ho = spec.out_dim(h, kh);
     let wo = spec.out_dim(w, kw);
-    let cols = im2col(input, kh, kw, spec);
+    im2col_into(input, kh, kw, spec, &mut scratch.cols);
     let wmat = weight
         .clone()
         .reshape(vec![co, ci * kh * kw])
         .expect("weight reshape is size-preserving")
         .transposed();
-    let (flat, stats) = mm(&cols, &wmat); // [n*ho*wo, co]
-    // Rearrange [n*ho*wo, co] -> [n, co, ho, wo].
+    let (flat, stats) = mm(&scratch.cols, &wmat)?; // [n*ho*wo, co]
+    // Rearrange [n*ho*wo, co] -> [n, co, ho, wo] with flat indexing.
     let mut out = Tensor::zeros(vec![n, co, ho, wo]);
+    let od = out.as_mut_slice();
+    let fd = flat.as_slice();
+    let hw = ho * wo;
     for ni in 0..n {
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let row = (ni * ho + oy) * wo + ox;
-                for c in 0..co {
-                    out.set(&[ni, c, oy, ox], flat.get(&[row, c]));
-                }
+        for c in 0..co {
+            let dst = (ni * co + c) * hw;
+            let src = ni * hw;
+            for s in 0..hw {
+                od[dst + s] = fd[(src + s) * co + c];
             }
         }
     }
-    (out, stats)
+    Ok((out, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::int::{IntFormat, Signedness};
+    use crate::format::fp16_round;
+    use crate::int::IntFormat;
 
     fn rand_mat(m: usize, n: usize, seed: u64) -> Tensor {
         Tensor::random_uniform(vec![m, n], -1.0, 1.0, seed)
@@ -368,7 +1077,7 @@ mod tests {
         let qa = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, a.max_abs());
         let qb = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, b.max_abs());
         let exact = matmul_f32(&a, &b);
-        let (got, stats) = matmul_int(&a, &b, qa, qb, 64, );
+        let (got, stats) = matmul_int(&a, &b, qa, qb, 64);
         assert_eq!(stats.saturations, 0);
         assert!(got.max_rel_diff(&exact) < 0.25, "diff {}", got.max_rel_diff(&exact));
     }
@@ -393,6 +1102,104 @@ mod tests {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![4, 5]);
         assert!(matmul_f32_checked(&a, &b).is_err());
+        assert!(matmul_emulated_checked(FmaMode::Fp16, &a, &b, 64).is_err());
+        let q = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 1.0);
+        assert!(matmul_int_checked(&a, &b, q, q, 64).is_err());
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fast_rounder_matches_general_quantizer() {
+        // The specialized kernel rounder must agree with FpFormat::fp16()
+        // quantization on every finite f32 (its full input domain) —
+        // sampled densely across the exponent range plus edge cases.
+        let check = |x: f32| {
+            let general = fp16_round(x);
+            assert_eq!(fp16_round_sum(x).to_bits(), general.to_bits(), "x = {x:e}");
+            assert_eq!(fp16_round_sum_sel(x).to_bits(), general.to_bits(), "sel x = {x:e}");
+        };
+        for exp in 0u32..=254 {
+            for man in [0u32, 1, 0x1fff, 0x2000, 0x2001, 0x3fff, 0x7fffff] {
+                let bits = (exp << 23) | man;
+                check(f32::from_bits(bits));
+                check(f32::from_bits(bits | 0x8000_0000));
+            }
+        }
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..1_000_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = f32::from_bits((state >> 32) as u32);
+            if x.is_finite() {
+                check(x);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_scalar_all_float_modes() {
+        // Shapes chosen to exercise the JR remainder columns and partial
+        // final chunks; sparsity exercises gating counts.
+        let mut a = rand_mat(7, 35, 30);
+        for (i, v) in a.as_mut_slice().iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+        }
+        let b = rand_mat(35, 11, 31);
+        for mode in [
+            FmaMode::Fp16,
+            FmaMode::hfp8_fwd_default(),
+            FmaMode::hfp8_bwd_default(),
+            FmaMode::Hfp8Fwd { bias_a: 5, bias_b: 9 },
+        ] {
+            for chunk_len in [1, 3, 35, 64] {
+                let (fast, fs) = matmul_emulated(mode, &a, &b, chunk_len);
+                let (scalar, ss) = matmul_emulated_scalar(mode, &a, &b, chunk_len);
+                assert_bits_eq(&fast, &scalar);
+                assert_eq!(fs, ss, "{mode:?} chunk {chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_int_matches_scalar_across_formats() {
+        let a = rand_mat(6, 40, 32);
+        let b = rand_mat(40, 9, 33);
+        for (fmt, signedness) in [
+            (IntFormat::Int4, Signedness::Signed),
+            (IntFormat::Int4, Signedness::Unsigned),
+            (IntFormat::Int2, Signedness::Signed),
+            (IntFormat::Int2, Signedness::Unsigned),
+        ] {
+            let qa = QuantParams::from_abs_max(fmt, signedness, a.max_abs());
+            let qb = QuantParams::from_abs_max(fmt, Signedness::Signed, b.max_abs());
+            for chunk_len in [1, 7, 64] {
+                let (fast, fs) = matmul_int(&a, &b, qa, qb, chunk_len);
+                let (scalar, ss) = matmul_int_scalar(&a, &b, qa, qb, chunk_len);
+                assert_bits_eq(&fast, &scalar);
+                assert_eq!(fs, ss, "{fmt:?} {signedness:?} chunk {chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_chunk_lengths_fall_back_to_scalar_semantics() {
+        // chunk_len 1024 × worst product 49 exceeds i16::MAX: saturation is
+        // possible, so the fast path must defer to the saturating reference.
+        let a = Tensor::from_fn(vec![2, 2048], |_| 1.0);
+        let b = Tensor::from_fn(vec![2048, 2], |_| 1.0);
+        let qa = QuantParams::with_scale(IntFormat::Int4, Signedness::Signed, 1.0 / 7.0).unwrap();
+        let (fast, fs) = matmul_int(&a, &b, qa, qa, 1024);
+        let (scalar, ss) = matmul_int_scalar(&a, &b, qa, qa, 1024);
+        assert!(ss.saturations > 0, "test should exercise saturation");
+        assert_bits_eq(&fast, &scalar);
+        assert_eq!(fs, ss);
     }
 
     #[test]
@@ -439,5 +1246,50 @@ mod tests {
         assert_eq!(stats.saturations, 0);
         let exact = conv2d_f32(&input, &weight, ConvSpec::unit());
         assert!(out.max_rel_diff(&exact) < 0.3);
+    }
+
+    #[test]
+    fn conv_scratch_reuse_is_bit_exact() {
+        let input = Tensor::random_uniform(vec![2, 3, 7, 7], -1.0, 1.0, 40);
+        let weight = Tensor::random_uniform(vec![5, 3, 3, 3], -0.5, 0.5, 41);
+        let spec = ConvSpec { stride: 2, pad: 1 };
+        let mode = FmaMode::hfp8_fwd_default();
+        let (fresh, fresh_stats) = conv2d_emulated(&input, &weight, spec, mode, 64);
+        let mut scratch = ConvScratch::default();
+        // Dirty the scratch with a differently-shaped problem first.
+        let small = Tensor::random_uniform(vec![1, 3, 4, 4], -1.0, 1.0, 42);
+        let _ = conv2d_emulated_with_scratch(&small, &weight, ConvSpec::unit(), mode, 64, &mut scratch);
+        let (reused, reused_stats) =
+            conv2d_emulated_with_scratch(&input, &weight, spec, mode, 64, &mut scratch);
+        assert_bits_eq(&fresh, &reused);
+        assert_eq!(fresh_stats, reused_stats);
+    }
+
+    #[test]
+    fn fast_conv_matches_scalar_conv() {
+        let input = Tensor::random_uniform(vec![1, 3, 6, 6], -1.0, 1.0, 50);
+        let weight = Tensor::random_uniform(vec![4, 3, 3, 3], -0.5, 0.5, 51);
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let mode = FmaMode::hfp8_bwd_default();
+        let (fast, fs) = conv2d_emulated(&input, &weight, spec, mode, 16);
+        let (scalar, ss) = conv2d_emulated_scalar(&input, &weight, spec, mode, 16);
+        assert_bits_eq(&fast, &scalar);
+        assert_eq!(fs, ss);
+        let qa = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 1.0);
+        let (ifast, ifs) = conv2d_int(&input, &weight, spec, qa, qa, 16);
+        let (iscalar, iss) = conv2d_int_scalar(&input, &weight, spec, qa, qa, 16);
+        assert_bits_eq(&ifast, &iscalar);
+        assert_eq!(ifs, iss);
+    }
+
+    #[test]
+    fn im2col_into_reuses_allocation() {
+        let input = Tensor::random_uniform(vec![1, 2, 5, 5], -1.0, 1.0, 60);
+        let spec = ConvSpec { stride: 1, pad: 1 };
+        let fresh = im2col(&input, 3, 3, spec);
+        let mut scratch = Tensor::zeros(vec![7, 7]); // wrong shape, dirty data
+        scratch.map_inplace(|_| 9.0);
+        im2col_into(&input, 3, 3, spec, &mut scratch);
+        assert_eq!(fresh, scratch);
     }
 }

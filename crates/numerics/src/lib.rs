@@ -21,6 +21,11 @@
 //!   ICLR'19), which RaPiD uses to preserve fidelity of partial sums.
 //! * [`int`] — INT4/INT2 quantized types with INT16-per-chunk/INT32
 //!   accumulation, and per-tensor scale quantization parameters.
+//! * [`lut`] — exhaustive decode and FP8×FP8 product lookup tables that
+//!   collapse the per-FMA format conversions of the HFP8 pipeline into a
+//!   single table load (fast GEMM path).
+//! * [`qtensor`] — quantize-once tensor representation carrying lattice
+//!   values and (for 8-bit formats) raw operand codes.
 //! * [`sfu`] — the Special Function Unit's fast/accurate approximations
 //!   of `sqrt`, `exp`, `ln`, `sigmoid`, `tanh` and `reciprocal`
 //!   (paper §III-B).
@@ -53,6 +58,8 @@ pub mod fma;
 pub mod format;
 pub mod gemm;
 pub mod int;
+pub mod lut;
+pub mod qtensor;
 pub mod sfu;
 pub mod tensor;
 pub mod types;
@@ -60,5 +67,6 @@ pub mod types;
 pub use error::NumericsError;
 pub use format::FpFormat;
 pub use int::{IntFormat, QuantParams};
+pub use qtensor::QTensor;
 pub use tensor::Tensor;
 pub use types::{Fp16, Fp8E4M3, Fp8E5M2, Fp9};

@@ -1,0 +1,139 @@
+//! Quantize-once tensor representation.
+//!
+//! The emulated kernels used to re-derive operand lattice values on every
+//! inner-loop FMA. A [`QTensor`] snaps a tensor onto its format's value
+//! lattice exactly once per kernel call and — for 8-bit formats — also
+//! materializes the raw operand codes, which index the exhaustive product
+//! tables in [`crate::lut`].
+
+use crate::format::FpFormat;
+use crate::tensor::Tensor;
+
+/// A tensor whose elements are exact members of a float format's value set,
+/// with the raw 8-bit codes alongside when the format fits in a byte.
+///
+/// # Example
+///
+/// ```
+/// use rapid_numerics::format::FpFormat;
+/// use rapid_numerics::qtensor::QTensor;
+/// use rapid_numerics::Tensor;
+///
+/// let t = Tensor::from_vec(vec![2], vec![1.06, -3.2]);
+/// let q = QTensor::quantize(&t, FpFormat::fp8_e4m3());
+/// assert_eq!(q.values().as_slice(), &[1.0, -3.25]);
+/// assert!(q.codes().is_some()); // 8-bit format -> codes available
+/// ```
+#[derive(Debug, Clone)]
+pub struct QTensor {
+    format: FpFormat,
+    values: Tensor,
+    codes: Option<Vec<u8>>,
+}
+
+impl QTensor {
+    /// Quantizes every element of `t` to `format` (round-to-nearest-even,
+    /// saturating per the format), computing raw codes for 8-bit formats.
+    pub fn quantize(t: &Tensor, format: FpFormat) -> Self {
+        let values = t.map(|v| format.quantize(v));
+        let codes = (format.total_bits() == 8 && !format.has_subnormals())
+            .then(|| values.as_slice().iter().map(|&v| lattice_code8(format, v)).collect());
+        Self { format, values, codes }
+    }
+
+    /// The format the elements live on.
+    pub fn format(&self) -> FpFormat {
+        self.format
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        self.values.shape()
+    }
+
+    /// The quantized values (each exactly representable in `format()`).
+    pub fn values(&self) -> &Tensor {
+        &self.values
+    }
+
+    /// Consumes the wrapper, returning the quantized value tensor.
+    pub fn into_values(self) -> Tensor {
+        self.values
+    }
+
+    /// Raw operand codes, available when `format()` is an 8-bit format.
+    pub fn codes(&self) -> Option<&[u8]> {
+        self.codes.as_deref()
+    }
+}
+
+/// Extracts the 8-bit operand code of a value already on `fmt`'s lattice by
+/// bit manipulation (equivalent to `fmt.encode(v) as u8`, without the f64
+/// round-trip `encode` performs — this runs once per operand element).
+fn lattice_code8(fmt: FpFormat, v: f32) -> u8 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 31) as u8) << 7;
+    let mag = bits & 0x7fff_ffff;
+    if mag == 0 {
+        return sign;
+    }
+    // Lattice members of a constructible subnormal-free format are f32
+    // normals, so exponent/mantissa extraction is direct.
+    let e_unbiased = ((mag >> 23) as i32) - 127;
+    let e_code = (e_unbiased + fmt.bias()) as u32;
+    let man = (mag >> (23 - fmt.man_bits())) & ((1 << fmt.man_bits()) - 1);
+    sign | ((e_code << fmt.man_bits()) | man) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn formats() -> Vec<FpFormat> {
+        vec![
+            FpFormat::fp8_e4m3(),
+            FpFormat::fp8_e5m2(),
+            FpFormat::fp8_e4m3_with_bias(-3).unwrap(),
+            FpFormat::fp8_e4m3_with_bias(11).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn lattice_code_matches_encode_exhaustively() {
+        for fmt in formats() {
+            for v in fmt.positive_values() {
+                assert_eq!(u32::from(lattice_code8(fmt, v)), fmt.encode(v), "{fmt}: {v}");
+                if v != 0.0 {
+                    assert_eq!(u32::from(lattice_code8(fmt, -v)), fmt.encode(-v), "{fmt}: -{v}");
+                }
+            }
+            // Negative zero keeps its sign bit, as encode does.
+            assert_eq!(u32::from(lattice_code8(fmt, -0.0)), fmt.encode(-0.0));
+        }
+    }
+
+    #[test]
+    fn quantize_once_matches_elementwise_quantize() {
+        let t = Tensor::random_uniform(vec![4, 9], -600.0, 600.0, 21);
+        for fmt in formats() {
+            let q = QTensor::quantize(&t, fmt);
+            assert_eq!(q.shape(), t.shape());
+            for (&qv, &x) in q.values().as_slice().iter().zip(t.as_slice()) {
+                assert_eq!(qv.to_bits(), fmt.quantize(x).to_bits());
+            }
+            let codes = q.codes().expect("8-bit format has codes");
+            for (&c, &qv) in codes.iter().zip(q.values().as_slice()) {
+                assert_eq!(fmt.decode(u32::from(c)).to_bits(), qv.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_has_values_but_no_codes() {
+        let t = Tensor::random_uniform(vec![8], -2.0, 2.0, 22);
+        let q = QTensor::quantize(&t, FpFormat::fp16());
+        assert!(q.codes().is_none());
+        assert_eq!(q.format(), FpFormat::fp16());
+        assert_eq!(q.clone().into_values(), *q.values());
+    }
+}

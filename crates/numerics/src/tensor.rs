@@ -90,6 +90,17 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes in place to `shape`, zero-filling all elements. Existing
+    /// contents are discarded but the backing allocation is kept, so scratch
+    /// tensors (e.g. im2col buffers) can be reused across calls without
+    /// reallocating.
+    pub fn reset(&mut self, shape: Vec<usize>) {
+        let n: usize = shape.iter().product();
+        self.data.clear();
+        self.data.resize(n, 0.0);
+        self.shape = shape;
+    }
+
     fn flat_index(&self, idx: &[usize]) -> usize {
         assert_eq!(
             idx.len(),

@@ -7,8 +7,8 @@
 //! accumulation throughout.
 
 use rapid_numerics::fma::FmaMode;
-use rapid_numerics::gemm::{matmul_emulated, matmul_f32};
-use rapid_numerics::Tensor;
+use rapid_numerics::gemm::{matmul_emulated_checked, matmul_f32_checked};
+use rapid_numerics::{NumericsError, Tensor};
 
 /// Role of a GEMM operand in the training dataflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,7 +22,27 @@ pub enum OperandRole {
 /// A numeric backend for the reference trainer.
 pub trait Backend {
     /// `a [m,k] × b [k,n]` with the given operand roles.
-    fn matmul(&self, a: &Tensor, b: &Tensor, roles: (OperandRole, OperandRole)) -> Tensor;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] when the operands are not
+    /// conformable matrices.
+    fn try_matmul(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        roles: (OperandRole, OperandRole),
+    ) -> Result<Tensor, NumericsError>;
+
+    /// [`Backend::try_matmul`] that panics on incompatible shapes —
+    /// convenient inside training loops whose shapes are static.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand shapes are incompatible.
+    fn matmul(&self, a: &Tensor, b: &Tensor, roles: (OperandRole, OperandRole)) -> Tensor {
+        self.try_matmul(a, b, roles).expect("incompatible matmul shapes")
+    }
 
     /// Backend label for reports.
     fn name(&self) -> &'static str;
@@ -33,8 +53,13 @@ pub trait Backend {
 pub struct Fp32Backend;
 
 impl Backend for Fp32Backend {
-    fn matmul(&self, a: &Tensor, b: &Tensor, _roles: (OperandRole, OperandRole)) -> Tensor {
-        matmul_f32(a, b)
+    fn try_matmul(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        _roles: (OperandRole, OperandRole),
+    ) -> Result<Tensor, NumericsError> {
+        matmul_f32_checked(a, b)
     }
 
     fn name(&self) -> &'static str {
@@ -56,8 +81,13 @@ impl Default for Fp16Backend {
 }
 
 impl Backend for Fp16Backend {
-    fn matmul(&self, a: &Tensor, b: &Tensor, _roles: (OperandRole, OperandRole)) -> Tensor {
-        matmul_emulated(FmaMode::Fp16, a, b, self.chunk_len).0
+    fn try_matmul(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        _roles: (OperandRole, OperandRole),
+    ) -> Result<Tensor, NumericsError> {
+        matmul_emulated_checked(FmaMode::Fp16, a, b, self.chunk_len).map(|(c, _)| c)
     }
 
     fn name(&self) -> &'static str {
@@ -81,28 +111,40 @@ impl Default for Hfp8Backend {
 }
 
 impl Backend for Hfp8Backend {
-    fn matmul(&self, a: &Tensor, b: &Tensor, roles: (OperandRole, OperandRole)) -> Tensor {
+    fn try_matmul(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        roles: (OperandRole, OperandRole),
+    ) -> Result<Tensor, NumericsError> {
         use OperandRole::{Data, Error};
         match roles {
-            (Data, Data) => matmul_emulated(FmaMode::hfp8_fwd_default(), a, b, self.chunk_len).0,
-            (Data, Error) => matmul_emulated(FmaMode::hfp8_bwd_default(), a, b, self.chunk_len).0,
+            (Data, Data) => matmul_emulated_checked(FmaMode::hfp8_fwd_default(), a, b, self.chunk_len)
+                .map(|(c, _)| c),
+            (Data, Error) => matmul_emulated_checked(FmaMode::hfp8_bwd_default(), a, b, self.chunk_len)
+                .map(|(c, _)| c),
             // The pipeline takes (1,4,3) on port A; compute the transpose
             // to present the error operand on port B: C = A×B = (BᵀAᵀ)ᵀ.
             (Error, Data) => {
-                let ct = matmul_emulated(
+                if a.shape().len() != 2 || b.shape().len() != 2 {
+                    return Err(NumericsError::ShapeMismatch {
+                        expected: "rank-2 operands".to_string(),
+                        actual: format!("a {:?} × b {:?}", a.shape(), b.shape()),
+                    });
+                }
+                let ct = matmul_emulated_checked(
                     FmaMode::hfp8_bwd_default(),
                     &b.transposed(),
                     &a.transposed(),
                     self.chunk_len,
-                )
+                )?
                 .0;
-                ct.transposed()
+                Ok(ct.transposed())
             }
             // Error × error products do not occur in the HFP8 dataflow;
             // fall back to the wider-range format on both ports.
-            (Error, Error) => {
-                matmul_emulated(FmaMode::hfp8_bwd_default(), a, b, self.chunk_len).0
-            }
+            (Error, Error) => matmul_emulated_checked(FmaMode::hfp8_bwd_default(), a, b, self.chunk_len)
+                .map(|(c, _)| c),
         }
     }
 
@@ -114,6 +156,7 @@ impl Backend for Hfp8Backend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rapid_numerics::gemm::matmul_f32;
 
     fn mats() -> (Tensor, Tensor) {
         (
@@ -140,6 +183,30 @@ mod tests {
         ] {
             let r = Hfp8Backend::default().matmul(&a, &b, roles);
             assert!(r.max_rel_diff(&exact) < 0.15, "{roles:?}: {}", r.max_rel_diff(&exact));
+        }
+    }
+
+    #[test]
+    fn try_matmul_surfaces_shape_errors() {
+        use rapid_numerics::NumericsError;
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        let backends: [&dyn Backend; 3] =
+            [&Fp32Backend, &Fp16Backend::default(), &Hfp8Backend::default()];
+        for be in backends {
+            for roles in [
+                (OperandRole::Data, OperandRole::Data),
+                (OperandRole::Error, OperandRole::Data),
+            ] {
+                assert!(
+                    matches!(
+                        be.try_matmul(&a, &b, roles),
+                        Err(NumericsError::ShapeMismatch { .. })
+                    ),
+                    "{} {roles:?}",
+                    be.name()
+                );
+            }
         }
     }
 

@@ -4,7 +4,7 @@
 
 use crate::backend::{Backend, OperandRole};
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use rapid_numerics::gemm::{im2col, ConvSpec};
+use rapid_numerics::gemm::{im2col_into, ConvSpec};
 use rapid_numerics::Tensor;
 
 /// One convolution layer `[ci, h, w] → [co, ho, wo]` with cached forward
@@ -56,7 +56,9 @@ impl Conv2d {
         let wo = self.spec.out_dim(w, self.k);
         self.in_shape = x.shape().to_vec();
         self.out_hw = (ho, wo);
-        self.cols = im2col(x, self.k, self.k, self.spec);
+        // Lower into the cached scratch so per-step training passes reuse
+        // the im2col allocation instead of reallocating it.
+        im2col_into(x, self.k, self.k, self.spec, &mut self.cols);
         let co = self.w.shape()[0];
         let wmat = self
             .w

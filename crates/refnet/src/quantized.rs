@@ -5,9 +5,9 @@
 use crate::backend::{Backend, Fp32Backend};
 use crate::data::Dataset;
 use crate::mlp::Mlp;
-use rapid_numerics::gemm::matmul_int;
+use rapid_numerics::gemm::matmul_int_checked;
 use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
-use rapid_numerics::Tensor;
+use rapid_numerics::{NumericsError, Tensor};
 use rapid_quant::sawb::sawb_params;
 
 /// A quantized model: per-layer SaWB weight parameters and calibrated
@@ -63,20 +63,35 @@ impl QuantizedMlp {
 
     /// Integer-pipeline inference: every GEMM executes as quantized codes
     /// with INT16-chunk/INT32 accumulation, exactly like the FXU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[n, features]` for the model's input width;
+    /// use [`QuantizedMlp::try_infer`] to get an error instead.
     pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.try_infer(x).expect("input shape incompatible with the model")
+    }
+
+    /// [`QuantizedMlp::infer`], surfacing malformed inputs as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] when `x` does not conform
+    /// with the first layer's weights.
+    pub fn try_infer(&self, x: &Tensor) -> Result<Tensor, NumericsError> {
         let depth = self.model.depth();
         let mut cur = x.clone();
         for i in 0..depth {
-            let (z, _stats) = matmul_int(
+            let (z, _stats) = matmul_int_checked(
                 &cur,
                 self.model.weights(i),
                 self.act_params[i],
                 self.weight_params[i],
                 self.chunk_len,
-            );
+            )?;
             cur = if i + 1 < depth { z.map(|v| v.max(0.0)) } else { z };
         }
-        cur
+        Ok(cur)
     }
 
     /// Classification accuracy of the quantized model.
@@ -147,6 +162,14 @@ mod tests {
         assert!(a2 <= fp + 1e-9, "int2 {a2} should not beat fp32 {fp}");
         let q4 = QuantizedMlp::quantize(&mlp, IntFormat::Int4, &data);
         assert!(q4.accuracy(&data) >= a2, "int4 should be at least as good as int2");
+    }
+
+    #[test]
+    fn try_infer_rejects_bad_input_width() {
+        let (mlp, data) = trained();
+        let q = QuantizedMlp::quantize(&mlp, IntFormat::Int4, &data);
+        let bad = Tensor::zeros(vec![3, 7]);
+        assert!(matches!(q.try_infer(&bad), Err(NumericsError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -6,8 +6,8 @@
 use crate::gemm::{CoreSim, GemmJob, SimResult};
 use crate::sfu::{SfuStage, SfuUnit};
 use rapid_arch::precision::Precision;
-use rapid_numerics::gemm::{im2col, ConvSpec};
-use rapid_numerics::Tensor;
+use rapid_numerics::gemm::{im2col_into, ConvSpec};
+use rapid_numerics::{NumericsError, Tensor};
 
 /// A convolution job for the core simulator.
 #[derive(Debug, Clone)]
@@ -52,11 +52,48 @@ impl ConvSimResult {
 ///
 /// # Panics
 ///
-/// Panics if the operand ranks or channel counts are inconsistent.
+/// Panics if the operand ranks or channel counts are inconsistent, or the
+/// precision is FP32 (SFU-only). Use [`try_run_conv`] for an error instead.
 pub fn run_conv(core: &CoreSim, job: &ConvJob) -> ConvSimResult {
-    assert_eq!(job.input.shape().len(), 4, "conv input must be [n, ci, h, w]");
-    assert_eq!(job.weight.shape().len(), 4, "conv weight must be [co, ci, kh, kw]");
-    assert_eq!(job.input.shape()[1], job.weight.shape()[1], "channel mismatch");
+    try_run_conv(core, job).expect("invalid conv job")
+}
+
+/// [`run_conv`] that surfaces malformed jobs as [`NumericsError`] instead of
+/// panicking.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] for inconsistent operand ranks
+/// or channel counts, and [`NumericsError::InvalidFormat`] for FP32.
+pub fn try_run_conv(core: &CoreSim, job: &ConvJob) -> Result<ConvSimResult, NumericsError> {
+    try_run_conv_with_scratch(core, job, &mut Tensor::default())
+}
+
+/// [`try_run_conv`] reusing a caller-provided im2col scratch tensor, so
+/// repeated convolutions (e.g. layer sweeps) don't reallocate the lowered
+/// matrix on every call. The scratch is resized in place and its previous
+/// contents are discarded.
+///
+/// # Errors
+///
+/// Same contract as [`try_run_conv`].
+pub fn try_run_conv_with_scratch(
+    core: &CoreSim,
+    job: &ConvJob,
+    cols_scratch: &mut Tensor,
+) -> Result<ConvSimResult, NumericsError> {
+    if job.input.shape().len() != 4 || job.weight.shape().len() != 4 {
+        return Err(NumericsError::ShapeMismatch {
+            expected: "input [n, ci, h, w] and weight [co, ci, kh, kw]".to_string(),
+            actual: format!("input {:?}, weight {:?}", job.input.shape(), job.weight.shape()),
+        });
+    }
+    if job.input.shape()[1] != job.weight.shape()[1] {
+        return Err(NumericsError::ShapeMismatch {
+            expected: format!("input channels = {}", job.weight.shape()[1]),
+            actual: format!("input channels = {}", job.input.shape()[1]),
+        });
+    }
     let (n, _ci, h, w) = (
         job.input.shape()[0],
         job.input.shape()[1],
@@ -72,14 +109,18 @@ pub fn run_conv(core: &CoreSim, job: &ConvJob) -> ConvSimResult {
     let ho = job.spec.out_dim(h, kh);
     let wo = job.spec.out_dim(w, kw);
 
-    let cols = im2col(&job.input, kh, kw, job.spec);
+    im2col_into(&job.input, kh, kw, job.spec, cols_scratch);
     let wmat = job
         .weight
         .clone()
         .reshape(vec![co, ci * kh * kw])
         .expect("weight reshape is size-preserving")
         .transposed();
-    let gemm = core.run_gemm(&GemmJob { a: cols, b: wmat, precision: job.precision });
+    // Move the scratch buffer into the job (GemmJob owns its operands) and
+    // hand it back afterwards so the allocation survives for the next call.
+    let gjob = GemmJob { a: std::mem::take(cols_scratch), b: wmat, precision: job.precision };
+    let gemm = core.try_run_gemm(&gjob)?;
+    *cols_scratch = gjob.a;
 
     // Fused SFU stage over the flat output stream.
     let (flat, sfu_cycles, sfu_exposed) = match &job.sfu {
@@ -94,25 +135,26 @@ pub fn run_conv(core: &CoreSim, job: &ConvJob) -> ConvSimResult {
         None => (gemm.c.clone(), 0, 0),
     };
 
-    // Fold [n*ho*wo, co] → [n, co, ho, wo].
+    // Fold [n*ho*wo, co] → [n, co, ho, wo] with flat indexing.
     let mut output = Tensor::zeros(vec![n, co, ho, wo]);
+    let hw = ho * wo;
+    let fd = flat.as_slice();
+    let od = output.as_mut_slice();
     for ni in 0..n {
-        for oy in 0..ho {
-            for ox in 0..wo {
-                let row = (ni * ho + oy) * wo + ox;
-                for c in 0..co {
-                    output.set(&[ni, c, oy, ox], flat.get(&[row, c]));
-                }
+        for s in 0..hw {
+            let frow = (ni * hw + s) * co;
+            for c in 0..co {
+                od[(ni * co + c) * hw + s] = fd[frow + c];
             }
         }
     }
-    ConvSimResult {
+    Ok(ConvSimResult {
         output,
         array_cycles: gemm.cycles,
         sfu_cycles,
         sfu_exposed_cycles: sfu_exposed,
         gemm,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -169,6 +211,33 @@ mod tests {
         // under thousands of array cycles.
         assert_eq!(r.sfu_exposed_cycles, 0, "relu should hide: {r:?}");
         assert_eq!(r.total_cycles(), r.array_cycles);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_exact_and_errors_surface() {
+        let core = CoreSim::rapid();
+        let job = ConvJob {
+            input: Tensor::random_uniform(vec![1, 4, 5, 5], -1.0, 1.0, 80),
+            weight: Tensor::random_uniform(vec![6, 4, 3, 3], -0.5, 0.5, 81),
+            spec: ConvSpec { stride: 1, pad: 1 },
+            precision: Precision::Hfp8,
+            sfu: None,
+        };
+        let fresh = run_conv(&core, &job);
+        // Dirty scratch from a differently-shaped run must not leak in.
+        let mut scratch = Tensor::random_uniform(vec![7, 9], -3.0, 3.0, 82);
+        let reused = try_run_conv_with_scratch(&core, &job, &mut scratch).unwrap();
+        assert_eq!(reused.output, fresh.output);
+        // The scratch now holds the im2col matrix, ready for reuse.
+        assert_eq!(scratch.shape(), &[25, 36]);
+
+        let bad = ConvJob { weight: Tensor::zeros(vec![6, 3, 3, 3]), ..job.clone() };
+        assert!(matches!(
+            try_run_conv(&core, &bad),
+            Err(NumericsError::ShapeMismatch { .. })
+        ));
+        let fp32 = ConvJob { precision: Precision::Fp32, ..job };
+        assert!(matches!(try_run_conv(&core, &fp32), Err(NumericsError::InvalidFormat(_))));
     }
 
     #[test]

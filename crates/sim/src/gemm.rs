@@ -10,7 +10,7 @@ use rapid_arch::isa::SeqInstr;
 use rapid_arch::precision::Precision;
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
-use rapid_numerics::Tensor;
+use rapid_numerics::{NumericsError, QTensor, Tensor};
 
 /// A GEMM job for the core simulator.
 #[derive(Debug, Clone)]
@@ -78,10 +78,37 @@ impl CoreSim {
     /// # Panics
     ///
     /// Panics if the operand shapes are incompatible or `precision` is
-    /// [`Precision::Fp32`] (SFU-only).
+    /// [`Precision::Fp32`] (SFU-only). Use [`CoreSim::try_run_gemm`] to get
+    /// an error instead.
     pub fn run_gemm(&self, job: &GemmJob) -> SimResult {
+        self.try_run_gemm(job).expect("invalid GEMM job")
+    }
+
+    /// Runs a GEMM on the core, returning an error for malformed jobs
+    /// (non-matrix operands, mismatched inner dimensions, or the SFU-only
+    /// FP32 precision) instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::ShapeMismatch`] when the operands are not
+    /// `[m, k] × [k, n]` matrices, and [`NumericsError::InvalidFormat`] when
+    /// `precision` is [`Precision::Fp32`], which the MPE array cannot run.
+    pub fn try_run_gemm(&self, job: &GemmJob) -> Result<SimResult, NumericsError> {
+        if job.a.shape().len() != 2
+            || job.b.shape().len() != 2
+            || job.a.shape()[1] != job.b.shape()[0]
+        {
+            return Err(NumericsError::ShapeMismatch {
+                expected: "a [m, k] × b [k, n]".to_string(),
+                actual: format!("a {:?} × b {:?}", job.a.shape(), job.b.shape()),
+            });
+        }
+        if job.precision == Precision::Fp32 {
+            return Err(NumericsError::InvalidFormat(
+                "FP32 GEMMs do not execute on the MPE array (SFU-only precision)".to_string(),
+            ));
+        }
         let (m, k) = (job.a.shape()[0] as u64, job.a.shape()[1] as u64);
-        assert_eq!(job.a.shape()[1], job.b.shape()[0], "inner dimensions must match");
         let n = job.b.shape()[1] as u64;
 
         // Quantize operands once, as they would be stored in the L1.
@@ -139,7 +166,7 @@ impl CoreSim {
             wall = wall.max(report.cycles);
             reports.push(report);
         }
-        SimResult { c, cycles: wall, corelets: reports }
+        Ok(SimResult { c, cycles: wall, corelets: reports })
     }
 
     /// Runs one corelet's share and returns its outputs and report.
@@ -243,8 +270,8 @@ fn prepare_operands(job: &GemmJob) -> (Tensor, Tensor, Datapath) {
         Precision::Fp16 => {
             let (fa, fb) = FmaMode::Fp16.operand_formats();
             (
-                job.a.map(|v| fa.quantize(v)),
-                job.b.map(|v| fb.quantize(v)),
+                QTensor::quantize(&job.a, fa).into_values(),
+                QTensor::quantize(&job.b, fb).into_values(),
                 Datapath::Float { mode: FmaMode::Fp16 },
             )
         }
@@ -252,8 +279,8 @@ fn prepare_operands(job: &GemmJob) -> (Tensor, Tensor, Datapath) {
             let mode = FmaMode::hfp8_fwd_default();
             let (fa, fb) = mode.operand_formats();
             (
-                job.a.map(|v| fa.quantize(v)),
-                job.b.map(|v| fb.quantize(v)),
+                QTensor::quantize(&job.a, fa).into_values(),
+                QTensor::quantize(&job.b, fb).into_values(),
                 Datapath::Float { mode },
             )
         }
@@ -269,7 +296,8 @@ fn prepare_operands(job: &GemmJob) -> (Tensor, Tensor, Datapath) {
                 Datapath::Int { qa, qb },
             )
         }
-        Precision::Fp32 => panic!("FP32 GEMMs do not execute on the MPE array"),
+        // try_run_gemm rejects FP32 before operands are prepared.
+        Precision::Fp32 => unreachable!("FP32 rejected by try_run_gemm"),
     }
 }
 
@@ -331,6 +359,26 @@ mod tests {
         // INT2 streams 128 channels/cycle: positions complete in 1 cycle.
         let ri = core.run_gemm(&job(4, 64, 64, Precision::Int4, 55));
         assert!(r.corelets[0].phase_cycles[2] <= ri.corelets[0].phase_cycles[2]);
+    }
+
+    #[test]
+    fn try_run_gemm_rejects_bad_jobs() {
+        let core = CoreSim::rapid();
+        let bad_shape = GemmJob {
+            a: Tensor::zeros(vec![2, 3]),
+            b: Tensor::zeros(vec![4, 2]),
+            precision: Precision::Fp16,
+        };
+        assert!(matches!(
+            core.try_run_gemm(&bad_shape),
+            Err(NumericsError::ShapeMismatch { .. })
+        ));
+        let fp32 = GemmJob {
+            a: Tensor::zeros(vec![2, 3]),
+            b: Tensor::zeros(vec![3, 2]),
+            precision: Precision::Fp32,
+        };
+        assert!(matches!(core.try_run_gemm(&fp32), Err(NumericsError::InvalidFormat(_))));
     }
 
     #[test]

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, lints. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --workspace --release =="
+cargo build --workspace --release
+
+echo "== cargo test --workspace (quiet) =="
+cargo test --workspace -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

@@ -1,0 +1,97 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The workspace only uses `crossbeam::scope` + `Scope::spawn`; since Rust
+//! 1.63 the standard library's `std::thread::scope` provides the same
+//! borrow-from-the-stack capability, so this stub is a thin adapter that
+//! preserves crossbeam's signatures: `scope` returns a `thread::Result`
+//! (child or closure panics surface as `Err`), and spawned closures receive
+//! a `&Scope` for nested spawns.
+
+pub use thread::scope;
+
+/// Scoped-thread API, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope in which borrowed-data threads can be spawned.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result
+        /// (`Err` if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to `'env`; the closure receives this scope
+        /// so it can spawn further threads (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before `scope` returns. Panics from `f` or any child thread
+    /// are captured and returned as `Err`, as in crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    total.fetch_add(chunk.iter().sum(), std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("child failure"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(flag.into_inner());
+    }
+}

@@ -1,0 +1,10 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::{IntoSizeRange, Strategy, VecStrategy};
+
+/// Strategy producing `Vec`s of `element` values whose length is drawn from
+/// `size` (a fixed `usize`, `Range<usize>`, or `RangeInclusive<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min_len, max_len) = size.bounds();
+    VecStrategy { element, min_len, max_len }
+}

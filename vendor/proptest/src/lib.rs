@@ -1,0 +1,101 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest this workspace uses: the `proptest!`
+//! test macro, `prop_assert!`/`prop_assert_eq!`, range/tuple strategies and
+//! `proptest::collection::vec`. Each test runs `PROPTEST_CASES` random cases
+//! (default 64) from a seed derived from the test's name, so failures are
+//! reproducible run-to-run. Unlike real proptest there is **no shrinking**:
+//! a failing case reports its case index and panics with the original
+//! assertion message.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-imported API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supports the `name(pattern in strategy, ...) { body }` form. The body is
+/// run once per generated case; panics (including `prop_assert!` failures)
+/// fail the test after reporting the case index.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::case_count();
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..cases {
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }));
+                if let ::std::result::Result::Err(payload) = outcome {
+                    eprintln!(
+                        "proptest stub: test '{}' failed on case {}/{} (deterministic seed; rerun reproduces it)",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` under proptest's name (the stub panics instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        /// The macro generates in-range values and runs many cases.
+        #[test]
+        fn ranges_and_vecs(
+            x in -2.0f32..2.0,
+            n in 1usize..5,
+            codes in crate::collection::vec(-7i8..=7, 0..16),
+            tup in (0usize..4, 0usize..4, 1u32..4096),
+        ) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(codes.len() < 16);
+            prop_assert!(codes.iter().all(|c| (-7..=7).contains(c)));
+            let (a, b, c) = tup;
+            prop_assert!(a < 4 && b < 4);
+            prop_assert_eq!(c.clamp(1, 4095), c);
+        }
+
+        /// Fixed-size vec form used by the workspace.
+        #[test]
+        fn fixed_len_vec(v in crate::collection::vec(-1.0f32..1.0, 128)) {
+            prop_assert_eq!(v.len(), 128);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        let mut a = crate::test_runner::rng_for("some_test");
+        let mut b = crate::test_runner::rng_for("some_test");
+        use rand::Rng;
+        assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+    }
+}

@@ -1,0 +1,27 @@
+//! Case-count and RNG plumbing for the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Number of random cases per property, from `PROPTEST_CASES` (default 64).
+pub fn case_count() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// Deterministic per-test RNG: the seed is an FNV-1a hash of the test name,
+/// so each property sees a distinct but run-to-run stable stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and re-exports the
+//! no-op derives from the vendored `serde_derive`, which is all the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations need to
+//! compile without network access. No serializer exists; swap in the real
+//! crates if one is ever added.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize` (no serializer exists in this build).
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize` (no deserializer exists in this
+/// build).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates config/report structs with
+//! `#[derive(Serialize, Deserialize)]` but never actually invokes a
+//! serializer (there is no serde_json in the dependency graph). These no-op
+//! derives keep the annotations compiling without crates.io access; if real
+//! serialization is ever needed, replace the `vendor/serde*` stubs with the
+//! upstream crates.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the item, emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the item, emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
