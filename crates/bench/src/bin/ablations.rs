@@ -22,13 +22,16 @@ use rapid_numerics::format::FpFormat;
 use rapid_numerics::Tensor;
 use rapid_workloads::suite::benchmark_suite;
 
-fn int4_latency(chip: &ChipConfig, name: &str) -> f64 {
-    let net = benchmark_suite().into_iter().find(|n| n.name == name).expect("known");
+fn int4_latency(chip: &ChipConfig, name: &str) -> Result<f64, String> {
+    let net = benchmark_suite()
+        .into_iter()
+        .find(|n| n.name == name)
+        .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
     let plan = compile(&net, chip, &CompileOptions::for_precision(Precision::Int4));
-    evaluate_inference(&net, &plan, chip, 1, &ModelConfig::default()).latency_s
+    Ok(evaluate_inference(&net, &plan, chip, 1, &ModelConfig::default()).latency_s)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("ablation 1 — SFU array doubling (§III-B)");
     let doubled = ChipConfig::rapid_4core();
     let mut single = ChipConfig::rapid_4core();
@@ -36,8 +39,8 @@ fn main() {
     println!("{:<12} {:>14} {:>14} {:>9}", "benchmark", "1x SFU (µs)", "2x SFU (µs)", "gain");
     let mut gains = Vec::new();
     for name in ["mobilenetv1", "resnet50", "tiny-yolov3", "bert", "vgg16"] {
-        let t1 = int4_latency(&single, name);
-        let t2 = int4_latency(&doubled, name);
+        let t1 = int4_latency(&single, name)?;
+        let t2 = int4_latency(&doubled, name)?;
         gains.push(t1 / t2);
         println!("{:<12} {:>14.0} {:>14.0} {:>8.2}x", name, t1 * 1e6, t2 * 1e6, t1 / t2);
     }
@@ -121,4 +124,5 @@ fn main() {
         "avg SFU-doubling gain across probed nets: {:.2}x",
         mean(&gains)
     );
+    Ok(())
 }

@@ -13,7 +13,7 @@ use rapid_model::cost::ModelConfig;
 use rapid_model::inference::evaluate_inference;
 use rapid_workloads::suite::benchmark;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let chip = ChipConfig::rapid_4core();
     let cfg = ModelConfig::default();
     section("batch-size sweep — INT4 inference, per-input latency (µs)");
@@ -23,7 +23,7 @@ fn main() {
     }
     println!(" {:>12}", "b16 gain");
     for name in ["resnet50", "vgg16", "mobilenetv1", "lstm", "bilstm", "bert"] {
-        let net = benchmark(name).expect("known benchmark");
+        let net = benchmark(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
         let plan = compile(&net, &chip, &CompileOptions::for_precision(Precision::Int4));
         print!("{name:<12}");
         let mut per_input = Vec::new();
@@ -39,4 +39,5 @@ fn main() {
     println!("batch 1); the LSTM's recurrent GEMVs amortize their block-loads and weight");
     println!("re-fetches across the batch — the reason training (minibatch 512) reaches");
     println!("far higher utilization than batch-1 inference on the same layers.");
+    Ok(())
 }

@@ -5,14 +5,15 @@
 
 use rapid_arch::geometry::CoreletConfig;
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, mean, num_threads, par_map, section};
+use rapid_bench::{compare, mean, num_threads, section, try_par_map};
 use rapid_compiler::mapping::map_layer;
 use rapid_numerics::Tensor;
 use rapid_sim::gemm::{CoreSim, GemmJob};
 use rapid_workloads::graph::Op;
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
     let start = Instant::now();
     section("E9 — analytical model vs cycle simulator (GEMM sweep, 1 core / 2 corelets)");
     println!(
@@ -41,7 +42,9 @@ fn main() {
                 .map(move |p| (i, m, k, n, p))
         })
         .collect();
-    let rows = par_map(&jobs, |&(i, m, k, n, p)| {
+    // try_par_map keeps the sweep alive if a single simulation dies: the
+    // table completes with the failed row marked and the exit code flags it.
+    let rows = try_par_map(&jobs, |&(i, m, k, n, p)| {
         let job = GemmJob {
             a: Tensor::random_uniform(vec![m, k], -1.0, 1.0, 400 + i as u64),
             b: Tensor::random_uniform(vec![k, n], -1.0, 1.0, 500 + i as u64),
@@ -54,18 +57,28 @@ fn main() {
         (m, k, n, p, r.cycles, predicted, err)
     });
     let mut errors = Vec::new();
-    for (m, k, n, p, cycles, predicted, err) in rows {
-        errors.push(err);
-        println!(
-            "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10.0} {:>7.2}%",
-            p.to_string(),
-            m,
-            k,
-            n,
-            cycles,
-            predicted,
-            err * 100.0
-        );
+    let mut failures = 0usize;
+    for (job, row) in jobs.iter().zip(rows) {
+        match row {
+            Ok((m, k, n, p, cycles, predicted, err)) => {
+                errors.push(err);
+                println!(
+                    "{:<6} {:>5} {:>5} {:>5} {:>10} {:>10.0} {:>7.2}%",
+                    p.to_string(),
+                    m,
+                    k,
+                    n,
+                    cycles,
+                    predicted,
+                    err * 100.0
+                );
+            }
+            Err(reason) => {
+                failures += 1;
+                let (_, m, k, n, p) = *job;
+                println!("{:<6} {m:>5} {k:>5} {n:>5}     FAILED: {reason}", p.to_string());
+            }
+        }
     }
     println!();
     compare(
@@ -80,4 +93,9 @@ fn main() {
         start.elapsed().as_secs_f64(),
         num_threads().min(jobs.len())
     );
+    if failures > 0 {
+        eprintln!("{failures} of {} calibration points failed", jobs.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -11,7 +11,7 @@ use rapid_model::cost::ModelConfig;
 use rapid_model::inference::evaluate_inference;
 use rapid_workloads::suite::benchmark;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("energy breakdown — INT4 batch-1 inference, 4-core chip (µJ/inference)");
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>9}",
@@ -37,7 +37,7 @@ fn main() {
     println!("(smaller operands shrink the DRAM term, cheaper MACs shrink the MPE term).");
 
     section("mixed-precision frontier — ResNet50, INT4 coverage vs latency (§IV-B DSE)");
-    let net = benchmark("resnet50").expect("known benchmark");
+    let net = benchmark("resnet50").ok_or("unknown benchmark 'resnet50'")?;
     let chip = ChipConfig::rapid_4core();
     let cfg = ModelConfig::default();
     println!("{:>10} {:>10} {:>12} {:>10}", "coverage", "layers", "latency µs", "speedup");
@@ -63,4 +63,5 @@ fn main() {
     println!("coverage, not layer count: the accuracy-critical first/last layers hold");
     println!("few MACs, which is why the paper's rule of keeping them at FP16 costs");
     println!("almost nothing (100% of quantizable MACs still excludes those layers).");
+    Ok(())
 }

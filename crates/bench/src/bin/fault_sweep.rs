@@ -1,0 +1,192 @@
+//! Fault-injection sweep (robustness experiment): how much seeded datapath
+//! corruption the HFP8 training recipe absorbs, and how much delivered ring
+//! bandwidth survives drop/delay faults. Two sweeps:
+//!
+//! 1. **MAC bit-flips vs convergence** — a `FaultyHfp8Backend` splices a
+//!    seeded [`FaultPlan`] into every training GEMM; injected non-finite
+//!    accumulators are saturated (`GuardPolicy::Saturate`) so the run
+//!    continues through the hit, and final accuracy tells us whether SGD
+//!    rode it out.
+//! 2. **Ring faults vs bandwidth** — the same multicast used by E11, with
+//!    flits dropped (source retransmits) and slots held; delivered
+//!    B/cycle degrades but every byte still arrives.
+//!
+//! Usage: `fault_sweep [--smoke] [--seed N]`. The seed also honours the
+//! `RAPID_FAULT_SEED` environment variable (`--seed` wins).
+
+use rapid_bench::{compare, section, try_par_map};
+use rapid_fault::{FaultConfig, FaultCounts, FaultPlan};
+use rapid_numerics::fma::FmaMode;
+use rapid_numerics::gemm::matmul_emulated_guarded;
+use rapid_numerics::{GuardPolicy, NumericsError, Tensor};
+use rapid_refnet::backend::{Backend, Fp32Backend, OperandRole};
+use rapid_refnet::data::gaussian_blobs;
+use rapid_refnet::mlp::{train, Mlp, TrainConfig};
+use rapid_ring::sim::{multicast, RingSim};
+use std::cell::RefCell;
+
+/// HFP8 backend with a seeded fault plan spliced into every GEMM. The
+/// `Backend` trait takes `&self`, so the plan (which must mutate its RNG
+/// and trace) lives in a `RefCell`; training is single-threaded per
+/// backend instance.
+struct FaultyHfp8Backend {
+    chunk_len: usize,
+    plan: RefCell<FaultPlan>,
+}
+
+impl FaultyHfp8Backend {
+    fn new(cfg: FaultConfig) -> Self {
+        Self { chunk_len: 64, plan: RefCell::new(FaultPlan::new(cfg)) }
+    }
+
+    fn counts(&self) -> FaultCounts {
+        self.plan.borrow().counts()
+    }
+
+    fn guarded(&self, mode: FmaMode, a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
+        let mut plan = self.plan.borrow_mut();
+        matmul_emulated_guarded(mode, a, b, self.chunk_len, GuardPolicy::Saturate, Some(&mut plan))
+            .map(|(c, _)| c)
+    }
+}
+
+impl Backend for FaultyHfp8Backend {
+    fn try_matmul(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        roles: (OperandRole, OperandRole),
+    ) -> Result<Tensor, NumericsError> {
+        use OperandRole::{Data, Error};
+        match roles {
+            (Data, Data) => self.guarded(FmaMode::hfp8_fwd_default(), a, b),
+            (Data, Error) | (Error, Error) => self.guarded(FmaMode::hfp8_bwd_default(), a, b),
+            // Same transpose identity as the clean Hfp8Backend: the
+            // pipeline takes (1,4,3) on port A, so C = A×B = (BᵀAᵀ)ᵀ.
+            (Error, Data) => {
+                if a.shape().len() != 2 || b.shape().len() != 2 {
+                    return Err(NumericsError::ShapeMismatch {
+                        expected: "rank-2 operands".to_string(),
+                        actual: format!("a {:?} × b {:?}", a.shape(), b.shape()),
+                    });
+                }
+                self.guarded(FmaMode::hfp8_bwd_default(), &b.transposed(), &a.transposed())
+                    .map(|c| c.transposed())
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hfp8+faults"
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut smoke = false;
+    let mut seed = FaultConfig::seed_from_env(7);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = args.next().ok_or("--seed requires a value")?;
+                seed = v.parse().map_err(|_| format!("invalid --seed value '{v}'"))?;
+            }
+            other => {
+                return Err(format!("unknown argument '{other}' (usage: fault_sweep [--smoke] [--seed N])").into())
+            }
+        }
+    }
+
+    section(&format!(
+        "fault sweep — seeded injection (seed {seed}; override with --seed or RAPID_FAULT_SEED)"
+    ));
+
+    // ---- sweep 1: MAC bit-flip rate vs HFP8 training convergence --------
+    let epochs = if smoke { 4 } else { 25 };
+    let data = gaussian_blobs(if smoke { 256 } else { 768 }, 4, 16, 0.35, 42);
+    let cfg = TrainConfig { lr: 0.1, epochs, batch: 32 };
+    let mut fp32 = Mlp::new(&[16, 32, 4], 1);
+    let acc32 = train(&mut fp32, &Fp32Backend, &data, &cfg);
+
+    let rates: &[f64] =
+        if smoke { &[0.0, 1e-3] } else { &[0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2] };
+    section("sweep 1 — MAC accumulator/operand bit-flip rate vs HFP8 convergence");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "flip rate", "accuracy", "acc flips", "opd flips", "vs FP32"
+    );
+    // Independent training runs: fan out over the worker pool.
+    let rows = try_par_map(rates, |&rate| {
+        let backend = FaultyHfp8Backend::new(FaultConfig {
+            seed,
+            mac_acc_rate: rate,
+            mac_operand_rate: rate / 4.0,
+            ..FaultConfig::default()
+        });
+        let mut mlp = Mlp::new(&[16, 32, 4], 1);
+        let acc = train(&mut mlp, &backend, &data, &cfg);
+        (acc, backend.counts())
+    });
+    for (&rate, row) in rates.iter().zip(rows) {
+        match row {
+            Ok((acc, counts)) => println!(
+                "{:<12} {:>9.1}% {:>12} {:>12} {:>11.1}%",
+                format!("{rate:.0e}"),
+                acc * 100.0,
+                counts.mac_acc_flips,
+                counts.mac_operand_flips,
+                (acc - acc32) * 100.0
+            ),
+            Err(reason) => println!("{:<12}     FAILED: {reason}", format!("{rate:.0e}")),
+        }
+    }
+    println!("\nsaturating guards turn injected NaN/Inf into clamped FP16 values, so SGD");
+    println!("absorbs sparse hits; convergence only collapses once flips become dense");
+    println!("enough to corrupt most accumulation chunks.");
+
+    // ---- sweep 2: ring drop/delay rate vs delivered bandwidth -----------
+    section("sweep 2 — ring drop/delay fault rate vs delivered multicast bandwidth");
+    let bytes: u32 = if smoke { 16 * 1024 } else { 128 * 1024 };
+    println!(
+        "{:<10} {:<10} {:>10} {:>10} {:>10} {:>12}",
+        "drop", "delay", "cycles", "drops", "holds", "B/cycle"
+    );
+    let mut clean_bw = None;
+    for &(drop, delay) in &[(0.0, 0.0), (0.01, 0.0), (0.0, 0.05), (0.02, 0.02), (0.05, 0.05)] {
+        let mut sim = RingSim::try_new(4, 20)?;
+        sim.set_fault_plan(FaultPlan::new(FaultConfig {
+            seed,
+            ring_drop_rate: drop,
+            ring_delay_rate: delay,
+            ..FaultConfig::default()
+        }));
+        multicast(&mut sim, 9, 0, &[1, 2, 3], bytes);
+        let t = sim.run_until_idle(100_000_000)?;
+        let delivered: u64 = (1..4).map(|n| sim.received_bytes(n)).sum();
+        let bw = delivered as f64 / t as f64;
+        let c = sim.take_fault_plan().map(|p| p.counts()).unwrap_or_default();
+        clean_bw.get_or_insert(bw);
+        println!(
+            "{:<10} {:<10} {:>10} {:>10} {:>10} {:>12.2}",
+            format!("{:.0}%", drop * 100.0),
+            format!("{:.0}%", delay * 100.0),
+            t,
+            c.ring_drops,
+            c.ring_holds,
+            bw
+        );
+        assert_eq!(delivered, 3 * u64::from(bytes), "every byte must still arrive");
+    }
+    if let Some(base) = clean_bw {
+        compare(
+            "bandwidth under faults",
+            format!("{base:.2} B/cycle fault-free baseline"),
+            "drops cost a retransmit round-trip; holds cost their stall window",
+        );
+    }
+    println!("\nthe protocol degrades gracefully: lost flits are retransmitted from the");
+    println!("source node and held slots drain late, so delivered bytes are invariant —");
+    println!("only the completion time (and thus bandwidth) pays for the fault rate.");
+    Ok(())
+}

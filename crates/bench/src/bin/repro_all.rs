@@ -6,15 +6,23 @@
 //! The experiments are independent processes, so they fan out over the
 //! harness worker pool (`RAPID_THREADS` caps it); each binary's output is
 //! captured and printed in the canonical order once it completes.
+//!
+//! Failures degrade gracefully: a crashing experiment (including one
+//! forced down with `RAPID_FORCE_FAIL=<bin>`) is marked FAILED in the
+//! summary table, every other experiment still runs and prints, and the
+//! process exits non-zero.
 
-use rapid_bench::{num_threads, par_map};
-use std::process::Command;
+use rapid_bench::{num_threads, try_par_map};
+use std::process::{Command, ExitCode};
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
     let start = Instant::now();
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir").to_path_buf();
+    let Some(dir) = std::env::current_exe().ok().and_then(|e| e.parent().map(|p| p.to_path_buf()))
+    else {
+        eprintln!("error: cannot locate the experiment binaries next to repro_all");
+        return ExitCode::FAILURE;
+    };
     let bins = [
         "fig10_chip_table",
         "fig4c_area_power",
@@ -31,25 +39,51 @@ fn main() {
         "ablations",
         "batch_sweep",
         "energy_breakdown",
+        "fault_sweep",
     ];
-    let outputs = par_map(&bins, |bin| {
+    let outputs = try_par_map(&bins, |bin| {
         let path = dir.join(bin);
-        let out = Command::new(&path)
-            .output()
-            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
-        (out.status.success(), out.stdout, out.stderr)
-    });
-    for (bin, (ok, stdout, stderr)) in bins.iter().zip(outputs) {
-        println!("\n############ {bin} ############");
-        print!("{}", String::from_utf8_lossy(&stdout));
-        if !stderr.is_empty() {
-            eprint!("{}", String::from_utf8_lossy(&stderr));
+        match Command::new(&path).output() {
+            Ok(out) => (out.status.success(), out.stdout, out.stderr),
+            Err(e) => (false, Vec::new(), format!("failed to launch {}: {e}\n", path.display()).into_bytes()),
         }
-        assert!(ok, "{bin} failed");
+    });
+    let mut failed: Vec<&str> = Vec::new();
+    for (bin, result) in bins.iter().zip(outputs) {
+        println!("\n############ {bin} ############");
+        match result {
+            Ok((ok, stdout, stderr)) => {
+                print!("{}", String::from_utf8_lossy(&stdout));
+                if !stderr.is_empty() {
+                    eprint!("{}", String::from_utf8_lossy(&stderr));
+                }
+                if !ok {
+                    println!("*** {bin} FAILED (non-zero exit) ***");
+                    failed.push(bin);
+                }
+            }
+            Err(reason) => {
+                println!("*** {bin} FAILED (harness worker: {reason}) ***");
+                failed.push(bin);
+            }
+        }
+    }
+    println!("\n############ summary ############");
+    for bin in &bins {
+        let status = if failed.contains(bin) { "FAILED" } else { "ok" };
+        println!("{bin:<24} {status}");
     }
     println!(
-        "\nall experiments regenerated in {:.2}s wall-clock ({} worker threads)",
+        "\n{}/{} experiments regenerated in {:.2}s wall-clock ({} worker threads)",
+        bins.len() - failed.len(),
+        bins.len(),
         start.elapsed().as_secs_f64(),
         num_threads().min(bins.len())
     );
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("failed experiments: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
 }

@@ -1,0 +1,565 @@
+//! # rapid-fault
+//!
+//! Deterministic, seeded fault injection for the RaPiD reproduction.
+//!
+//! The paper's robustness story rests on two claims: the bidirectional
+//! ring's bubble flow control is deadlock-free under arbitrary transfer
+//! sets (§IV-C, Fig 8), and ultra-low-precision arithmetic degrades
+//! gracefully instead of diverging (§II, §V-E). Validating either requires
+//! *injecting* imperfections — the approach hardware-emulation stacks such
+//! as ApproxTrain and IBM's AIHWKit take — and doing so reproducibly.
+//!
+//! A [`FaultPlan`] is built from a [`FaultConfig`] and a seed. Every
+//! decision comes from a private xorshift generator (no wall clock, no
+//! global RNG), so the same seed replays the identical fault trace. Each
+//! consumer layer polls its own hook:
+//!
+//! * `rapid-numerics` — [`FaultPlan::mac_operand`] /
+//!   [`FaultPlan::mac_accumulator`] / [`FaultPlan::int_code`] /
+//!   [`FaultPlan::int_chunk`] flip mantissa/exponent bits in emulated MAC
+//!   operands and accumulators;
+//! * `rapid-ring` — [`FaultPlan::ring_delivery`] and
+//!   [`FaultPlan::ring_hold`] drop, duplicate or delay ring slots and MNI
+//!   load returns;
+//! * `rapid-sim` — [`FaultPlan::seq_stall`] withholds sequencer token
+//!   grants for a bounded number of cycles.
+//!
+//! Each domain draws from its own sub-generator (derived from the master
+//! seed), so e.g. ring faults do not depend on how many MAC faults were
+//! drawn first. All hooks are behind `Option<&mut FaultPlan>` at the call
+//! sites: a disabled run takes the unmodified fast paths and stays
+//! bit-exact.
+//!
+//! # Example
+//!
+//! ```
+//! use rapid_fault::{FaultConfig, FaultPlan};
+//!
+//! let cfg = FaultConfig { seed: 7, mac_operand_rate: 0.5, ..FaultConfig::default() };
+//! let mut plan = FaultPlan::new(cfg);
+//! let mut flips = 0;
+//! for _ in 0..1000 {
+//!     if plan.mac_operand(1.0) != 1.0 {
+//!         flips += 1;
+//!     }
+//! }
+//! assert!(flips > 300, "roughly half the operands should be corrupted");
+//! assert_eq!(plan.counts().mac_operand_flips, flips);
+//! ```
+
+use std::fmt;
+
+/// Environment variable overriding the fault seed (read only when a
+/// configuration is built via [`FaultConfig::seed_from_env`]).
+pub const FAULT_SEED_ENV: &str = "RAPID_FAULT_SEED";
+
+/// A small xorshift64* generator: deterministic, seedable, no global
+/// state. Quality is ample for Bernoulli fault draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from a seed (zero is remapped to a fixed
+    /// non-zero constant; xorshift has an absorbing state at 0).
+    pub fn new(seed: u64) -> Self {
+        Self { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < p
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        (self.next_u64() % u64::from(n)) as u32
+    }
+}
+
+/// Which fault domains fire and how often. All rates are per-opportunity
+/// probabilities (per MAC operand, per delivered data flit, per occupied
+/// ring slot per cycle, per simulated core cycle). The default is fully
+/// disabled: a plan built from `FaultConfig::default()` never fires and
+/// never perturbs results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master seed; each domain derives its own stream from it.
+    pub seed: u64,
+    /// Probability a MAC operand has one bit flipped.
+    pub mac_operand_rate: f64,
+    /// Probability (per MAC) that the chunk accumulator has one bit
+    /// flipped after the accumulate.
+    pub mac_acc_rate: f64,
+    /// Share of bit flips landing in the exponent field (the rest hit the
+    /// mantissa). Exponent upsets are the ones that produce non-finite
+    /// values; mantissa upsets are silent precision loss.
+    pub exponent_share: f64,
+    /// Probability a delivered data flit is dropped (the source
+    /// retransmits it — the link-level retry the ring protocol assumes).
+    pub ring_drop_rate: f64,
+    /// Probability a delivered data flit is duplicated at the consumer.
+    pub ring_dup_rate: f64,
+    /// Probability (per occupied slot per cycle) that a flit is held in
+    /// place — transient backpressure / a slow repeater.
+    pub ring_delay_rate: f64,
+    /// How many cycles a delayed flit is held.
+    pub ring_delay_cycles: u32,
+    /// Probability (per core cycle) that the sequencers' token grants
+    /// stall.
+    pub seq_stall_rate: f64,
+    /// How many cycles a sequencer stall lasts.
+    pub seq_stall_cycles: u32,
+    /// Cap on recorded trace events (counters keep counting past it).
+    pub max_trace_events: usize,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            mac_operand_rate: 0.0,
+            mac_acc_rate: 0.0,
+            exponent_share: 0.3,
+            ring_drop_rate: 0.0,
+            ring_dup_rate: 0.0,
+            ring_delay_rate: 0.0,
+            ring_delay_cycles: 8,
+            seq_stall_rate: 0.0,
+            seq_stall_cycles: 32,
+            max_trace_events: 4096,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Returns `default_seed`, or the value of the `RAPID_FAULT_SEED`
+    /// environment variable when set to a valid `u64`. The environment is
+    /// read once, here — plans themselves never consult it.
+    pub fn seed_from_env(default_seed: u64) -> u64 {
+        std::env::var(FAULT_SEED_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(default_seed)
+    }
+
+    /// Whether any injector can fire at all.
+    pub fn enabled(&self) -> bool {
+        self.mac_operand_rate > 0.0
+            || self.mac_acc_rate > 0.0
+            || self.ring_drop_rate > 0.0
+            || self.ring_dup_rate > 0.0
+            || self.ring_delay_rate > 0.0
+            || self.seq_stall_rate > 0.0
+    }
+}
+
+/// What happens to a data flit at its delivery point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryFault {
+    /// The flit is lost; the source must retransmit it.
+    Drop,
+    /// The flit is delivered twice.
+    Duplicate,
+}
+
+/// One recorded injection, in the order it was drawn within its domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A float MAC operand bit flip: `(site index, bit, before, after)`.
+    MacOperandFlip(u64, u32, u32, u32),
+    /// A float accumulator bit flip: `(site index, bit, before, after)`.
+    MacAccFlip(u64, u32, u32, u32),
+    /// An integer code bit flip: `(site index, bit, before, after)`.
+    IntCodeFlip(u64, u32, i8, i8),
+    /// An INT16 chunk-register bit flip: `(site index, bit, before, after)`.
+    IntChunkFlip(u64, u32, i16, i16),
+    /// A ring delivery fault at draw index `site`.
+    RingDelivery(u64, DeliveryFault),
+    /// A ring slot held for `cycles` at draw index `site`.
+    RingHold(u64, u32),
+    /// A sequencer token-grant stall of `cycles` at draw index `site`.
+    SeqStall(u64, u32),
+}
+
+/// Totals per injector, cheap to compare and report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Float operand bit flips injected.
+    pub mac_operand_flips: u64,
+    /// Float accumulator bit flips injected.
+    pub mac_acc_flips: u64,
+    /// Integer code bit flips injected.
+    pub int_code_flips: u64,
+    /// INT16 chunk-register bit flips injected.
+    pub int_chunk_flips: u64,
+    /// Data flits dropped (and retransmitted).
+    pub ring_drops: u64,
+    /// Data flits duplicated.
+    pub ring_dups: u64,
+    /// Ring slots held.
+    pub ring_holds: u64,
+    /// Sequencer stalls injected.
+    pub seq_stalls: u64,
+}
+
+impl fmt::Display for FaultCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held; {} seq stalls",
+            self.mac_operand_flips,
+            self.mac_acc_flips,
+            self.int_code_flips,
+            self.int_chunk_flips,
+            self.ring_drops,
+            self.ring_dups,
+            self.ring_holds,
+            self.seq_stalls,
+        )
+    }
+}
+
+/// A live fault-injection session: configuration plus per-domain RNG
+/// streams, the event trace, and totals.
+///
+/// Cloning a plan clones its RNG state: two clones fed identical hook-call
+/// sequences produce identical decisions — the property the determinism
+/// tests rely on.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    mac_rng: XorShift64,
+    ring_rng: XorShift64,
+    seq_rng: XorShift64,
+    mac_sites: u64,
+    ring_sites: u64,
+    seq_sites: u64,
+    trace: Vec<FaultEvent>,
+    counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// Builds a plan. Domain streams are derived from the master seed with
+    /// fixed odd offsets so the domains are decoupled.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self {
+            cfg,
+            mac_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x004D_4143),
+            ring_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5249_4E47),
+            seq_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0053_4551),
+            mac_sites: 0,
+            ring_sites: 0,
+            seq_sites: 0,
+            trace: Vec::new(),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// A plan that never fires (identical to `FaultPlan::new(FaultConfig::default())`).
+    pub fn disabled() -> Self {
+        Self::new(FaultConfig::default())
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether any injector can fire.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled()
+    }
+
+    /// Whether the MAC (numerics) injectors can fire.
+    pub fn mac_enabled(&self) -> bool {
+        self.cfg.mac_operand_rate > 0.0 || self.cfg.mac_acc_rate > 0.0
+    }
+
+    /// Whether the ring injectors can fire.
+    pub fn ring_enabled(&self) -> bool {
+        self.cfg.ring_drop_rate > 0.0
+            || self.cfg.ring_dup_rate > 0.0
+            || self.cfg.ring_delay_rate > 0.0
+    }
+
+    /// Whether the sequencer-stall injector can fire.
+    pub fn seq_enabled(&self) -> bool {
+        self.cfg.seq_stall_rate > 0.0
+    }
+
+    /// Recorded events, in draw order (capped at
+    /// [`FaultConfig::max_trace_events`]).
+    pub fn trace(&self) -> &[FaultEvent] {
+        &self.trace
+    }
+
+    /// Injection totals.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    fn record(&mut self, ev: FaultEvent) {
+        if self.trace.len() < self.cfg.max_trace_events {
+            self.trace.push(ev);
+        }
+    }
+
+    /// Picks a bit position: exponent (bits `frac..frac+exp`) with
+    /// probability `exponent_share`, mantissa (bits `0..frac`) otherwise.
+    fn pick_bit(rng: &mut XorShift64, share: f64, frac: u32, exp: u32) -> u32 {
+        if rng.chance(share) {
+            frac + rng.below(exp)
+        } else {
+            rng.below(frac)
+        }
+    }
+
+    /// Maybe flips one bit of a float MAC operand.
+    pub fn mac_operand(&mut self, v: f32) -> f32 {
+        self.mac_sites += 1;
+        if !self.mac_rng.chance(self.cfg.mac_operand_rate) {
+            return v;
+        }
+        let bit = Self::pick_bit(&mut self.mac_rng, self.cfg.exponent_share, 23, 8);
+        let before = v.to_bits();
+        let after = before ^ (1 << bit);
+        self.counts.mac_operand_flips += 1;
+        self.record(FaultEvent::MacOperandFlip(self.mac_sites - 1, bit, before, after));
+        f32::from_bits(after)
+    }
+
+    /// Maybe flips one bit of a float chunk accumulator.
+    pub fn mac_accumulator(&mut self, v: f32) -> f32 {
+        self.mac_sites += 1;
+        if !self.mac_rng.chance(self.cfg.mac_acc_rate) {
+            return v;
+        }
+        let bit = Self::pick_bit(&mut self.mac_rng, self.cfg.exponent_share, 23, 8);
+        let before = v.to_bits();
+        let after = before ^ (1 << bit);
+        self.counts.mac_acc_flips += 1;
+        self.record(FaultEvent::MacAccFlip(self.mac_sites - 1, bit, before, after));
+        f32::from_bits(after)
+    }
+
+    /// Maybe flips one bit (within the low `bits` of the code) of an
+    /// integer MAC operand.
+    pub fn int_code(&mut self, c: i8, bits: u32) -> i8 {
+        self.mac_sites += 1;
+        if !self.mac_rng.chance(self.cfg.mac_operand_rate) {
+            return c;
+        }
+        let bit = self.mac_rng.below(bits.max(1));
+        let mask = 1i8 << bit;
+        let after = c ^ mask;
+        self.counts.int_code_flips += 1;
+        self.record(FaultEvent::IntCodeFlip(self.mac_sites - 1, bit, c, after));
+        after
+    }
+
+    /// Maybe flips one bit of an INT16 chunk register.
+    pub fn int_chunk(&mut self, v: i16) -> i16 {
+        self.mac_sites += 1;
+        if !self.mac_rng.chance(self.cfg.mac_acc_rate) {
+            return v;
+        }
+        let bit = self.mac_rng.below(16);
+        let after = v ^ (1i16 << bit);
+        self.counts.int_chunk_flips += 1;
+        self.record(FaultEvent::IntChunkFlip(self.mac_sites - 1, bit, v, after));
+        after
+    }
+
+    /// Draws the fate of one delivered data flit.
+    pub fn ring_delivery(&mut self) -> Option<DeliveryFault> {
+        self.ring_sites += 1;
+        if self.ring_rng.chance(self.cfg.ring_drop_rate) {
+            self.counts.ring_drops += 1;
+            self.record(FaultEvent::RingDelivery(self.ring_sites - 1, DeliveryFault::Drop));
+            return Some(DeliveryFault::Drop);
+        }
+        if self.ring_rng.chance(self.cfg.ring_dup_rate) {
+            self.counts.ring_dups += 1;
+            self.record(FaultEvent::RingDelivery(self.ring_sites - 1, DeliveryFault::Duplicate));
+            return Some(DeliveryFault::Duplicate);
+        }
+        None
+    }
+
+    /// Draws whether an occupied ring slot is held this cycle, and for how
+    /// long.
+    pub fn ring_hold(&mut self) -> Option<u32> {
+        self.ring_sites += 1;
+        if self.ring_rng.chance(self.cfg.ring_delay_rate) {
+            let cycles = self.cfg.ring_delay_cycles.max(1);
+            self.counts.ring_holds += 1;
+            self.record(FaultEvent::RingHold(self.ring_sites - 1, cycles));
+            Some(cycles)
+        } else {
+            None
+        }
+    }
+
+    /// Draws whether the sequencers stall this cycle, and for how long.
+    pub fn seq_stall(&mut self) -> Option<u32> {
+        self.seq_sites += 1;
+        if self.seq_rng.chance(self.cfg.seq_stall_rate) {
+            let cycles = self.cfg.seq_stall_cycles.max(1);
+            self.counts.seq_stalls += 1;
+            self.record(FaultEvent::SeqStall(self.seq_sites - 1, cycles));
+            Some(cycles)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let mut plan = FaultPlan::disabled();
+        assert!(!plan.enabled());
+        for i in 0..1000 {
+            let v = i as f32 * 0.5 - 10.0;
+            assert_eq!(plan.mac_operand(v).to_bits(), v.to_bits());
+            assert_eq!(plan.mac_accumulator(v).to_bits(), v.to_bits());
+            assert_eq!(plan.int_code(i as i8, 4), i as i8);
+            assert_eq!(plan.int_chunk(i as i16), i as i16);
+            assert_eq!(plan.ring_delivery(), None);
+            assert_eq!(plan.ring_hold(), None);
+            assert_eq!(plan.seq_stall(), None);
+        }
+        assert_eq!(plan.counts(), FaultCounts::default());
+        assert!(plan.trace().is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let cfg = FaultConfig {
+            seed: 42,
+            mac_operand_rate: 0.1,
+            mac_acc_rate: 0.05,
+            ring_drop_rate: 0.2,
+            ring_delay_rate: 0.1,
+            seq_stall_rate: 0.03,
+            ..FaultConfig::default()
+        };
+        let run = |cfg| {
+            let mut plan = FaultPlan::new(cfg);
+            for i in 0..500 {
+                plan.mac_operand(i as f32);
+                plan.mac_accumulator(i as f32 * 0.25);
+                plan.ring_delivery();
+                plan.ring_hold();
+                plan.seq_stall();
+            }
+            (plan.trace().to_vec(), plan.counts())
+        };
+        let (t1, c1) = run(cfg);
+        let (t2, c2) = run(cfg);
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
+        assert!(!t1.is_empty());
+        let (t3, _) = run(FaultConfig { seed: 43, ..cfg });
+        assert_ne!(t1, t3, "different seeds must diverge");
+    }
+
+    #[test]
+    fn domains_are_decoupled() {
+        let cfg = FaultConfig {
+            seed: 9,
+            mac_operand_rate: 0.5,
+            ring_drop_rate: 0.25,
+            ..FaultConfig::default()
+        };
+        // Ring decisions must not depend on how many MAC draws happened.
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for i in 0..100 {
+            a.mac_operand(i as f32);
+        }
+        let da: Vec<_> = (0..64).map(|_| a.ring_delivery()).collect();
+        let db: Vec<_> = (0..64).map(|_| b.ring_delivery()).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let cfg =
+            FaultConfig { seed: 5, ring_drop_rate: 0.1, ..FaultConfig::default() };
+        let mut plan = FaultPlan::new(cfg);
+        let n = 10_000;
+        let mut drops = 0;
+        for _ in 0..n {
+            if plan.ring_delivery() == Some(DeliveryFault::Drop) {
+                drops += 1;
+            }
+        }
+        let rate = f64::from(drops) / f64::from(n);
+        assert!((rate - 0.1).abs() < 0.02, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn bit_flips_change_exactly_one_bit() {
+        let cfg = FaultConfig { seed: 3, mac_operand_rate: 1.0, ..FaultConfig::default() };
+        let mut plan = FaultPlan::new(cfg);
+        for i in 1..200 {
+            let v = i as f32 * 0.37;
+            let w = plan.mac_operand(v);
+            assert_eq!((v.to_bits() ^ w.to_bits()).count_ones(), 1);
+        }
+        assert_eq!(plan.counts().mac_operand_flips, 199);
+    }
+
+    #[test]
+    fn trace_is_capped_but_counts_continue() {
+        let cfg = FaultConfig {
+            seed: 8,
+            mac_operand_rate: 1.0,
+            max_trace_events: 16,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        for _ in 0..100 {
+            plan.mac_operand(1.0);
+        }
+        assert_eq!(plan.trace().len(), 16);
+        assert_eq!(plan.counts().mac_operand_flips, 100);
+    }
+
+    #[test]
+    fn seed_from_env_falls_back_to_default() {
+        // The variable is not set in the test environment; the default
+        // must come back. (Setting it here would race other tests.)
+        if std::env::var(FAULT_SEED_ENV).is_err() {
+            assert_eq!(FaultConfig::seed_from_env(17), 17);
+        }
+    }
+}

@@ -86,6 +86,19 @@ impl ChunkAccumulator {
         self.in_chunk = 0;
     }
 
+    /// Current value of the FP16 chunk register (fault-injection hooks and
+    /// numeric guards inspect it between MACs).
+    pub fn chunk_value(&self) -> f32 {
+        self.chunk_acc
+    }
+
+    /// Applies `f` to the chunk register in place — the entry point for
+    /// injected accumulator upsets and for guard-policy clamping. Leaves
+    /// every statistic untouched: a corrupted register is not a MAC.
+    pub fn corrupt_chunk(&mut self, f: impl FnOnce(f32) -> f32) {
+        self.chunk_acc = f(self.chunk_acc);
+    }
+
     /// Total MACs issued so far.
     pub fn macs(&self) -> u64 {
         self.macs

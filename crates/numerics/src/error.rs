@@ -29,6 +29,31 @@ pub enum NumericsError {
     /// A value cannot be represented (e.g. quantization of NaN where the
     /// target format has no NaN encoding).
     Unrepresentable(String),
+    /// A guarded kernel detected a non-finite accumulator (NaN/Inf), e.g.
+    /// after an exponent-bit upset, under [`GuardPolicy::Error`].
+    ///
+    /// [`GuardPolicy::Error`]: crate::guard::GuardPolicy::Error
+    NonFinite {
+        /// Output row of the affected accumulator.
+        row: usize,
+        /// Output column of the affected accumulator.
+        col: usize,
+        /// Raw f32 bit pattern of the offending value.
+        bits: u32,
+    },
+    /// A guarded integer kernel detected chunk-register overflow (either
+    /// hardware-style INT16 saturation or a fault pushing the register past
+    /// the legal bound) under [`GuardPolicy::Error`].
+    ///
+    /// [`GuardPolicy::Error`]: crate::guard::GuardPolicy::Error
+    Overflow {
+        /// Output row of the affected accumulator.
+        row: usize,
+        /// Output column of the affected accumulator.
+        col: usize,
+        /// Saturation events observed on this element so far.
+        saturations: u64,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -39,6 +64,15 @@ impl fmt::Display for NumericsError {
             }
             NumericsError::InvalidFormat(msg) => write!(f, "invalid number format: {msg}"),
             NumericsError::Unrepresentable(msg) => write!(f, "unrepresentable value: {msg}"),
+            NumericsError::NonFinite { row, col, bits } => write!(
+                f,
+                "non-finite accumulator at output [{row},{col}]: {} (bits 0x{bits:08x})",
+                f32::from_bits(*bits)
+            ),
+            NumericsError::Overflow { row, col, saturations } => write!(
+                f,
+                "integer chunk overflow at output [{row},{col}] ({saturations} saturation events)"
+            ),
         }
     }
 }

@@ -22,11 +22,13 @@
 
 use crate::accumulate::ChunkAccumulator;
 use crate::fma::FmaMode;
+use crate::guard::{saturate_f32, GuardPolicy};
 use crate::int::{IntAccumulator, QuantParams, Signedness};
 use crate::lut::{is_zero_code, product_lut};
 use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
 use crate::NumericsError;
+use rapid_fault::FaultPlan;
 
 /// Datapath statistics gathered while executing an emulated kernel.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -533,6 +535,101 @@ pub fn matmul_emulated_scalar(
     (out, stats)
 }
 
+/// [`matmul_emulated`] with fault injection and a numeric guard.
+///
+/// With `faults == None` (or a plan whose MAC injectors are disabled) this
+/// delegates to the bit-exact fast path — the hook costs nothing when off.
+/// With an active plan it drives the scalar datapath model one FMA at a
+/// time, corrupting operands and the chunk register per the plan, and
+/// applies `policy` whenever the chunk register goes non-finite.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on incompatible operands, and
+/// [`NumericsError::NonFinite`] under [`GuardPolicy::Error`] when a
+/// corrupted accumulator is detected.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+pub fn matmul_emulated_guarded(
+    mode: FmaMode,
+    a: &Tensor,
+    b: &Tensor,
+    chunk_len: usize,
+    policy: GuardPolicy,
+    faults: Option<&mut FaultPlan>,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let plan = faults.filter(|p| p.mac_enabled());
+    let Some(plan) = plan else {
+        let (out, stats) = matmul_emulated_checked(mode, a, b, chunk_len)?;
+        // The clean kernels saturate at FP16 write-back and cannot emit
+        // non-finite values; the scan is defense in depth for checking
+        // policies and costs O(m·n) only when asked for.
+        if policy.checks() {
+            let n = out.shape()[1];
+            for (idx, &v) in out.as_slice().iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(NumericsError::NonFinite {
+                        row: idx / n,
+                        col: idx % n,
+                        bits: v.to_bits(),
+                    });
+                }
+            }
+        }
+        return Ok((out, stats));
+    };
+    let (m, k, n) = check_matmul_shapes(a, b)?;
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let (fa, fb) = mode.operand_formats();
+    let qa: Vec<f32> = a.as_slice().iter().map(|&x| fa.quantize(x)).collect();
+    let qb: Vec<f32> = b.as_slice().iter().map(|&x| fb.quantize(x)).collect();
+    let mut out = Tensor::zeros(vec![m, n]);
+    let od = out.as_mut_slice();
+    let mut stats = GemmStats::default();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = ChunkAccumulator::new(mode, chunk_len);
+            for p in 0..k {
+                let x = plan.mac_operand(qa[i * k + p]);
+                let y = plan.mac_operand(qb[p * n + j]);
+                acc.mac(x, y);
+                acc.corrupt_chunk(|v| plan.mac_accumulator(v));
+                if policy.checks() && !acc.chunk_value().is_finite() {
+                    match policy {
+                        GuardPolicy::Saturate => acc.corrupt_chunk(saturate_f32),
+                        _ => {
+                            return Err(NumericsError::NonFinite {
+                                row: i,
+                                col: j,
+                                bits: acc.chunk_value().to_bits(),
+                            })
+                        }
+                    }
+                }
+            }
+            stats.macs += acc.macs();
+            stats.zero_gated += acc.zero_gated();
+            let mut v = acc.finish();
+            if policy.checks() && !v.is_finite() {
+                match policy {
+                    GuardPolicy::Saturate => v = saturate_f32(v),
+                    _ => {
+                        return Err(NumericsError::NonFinite {
+                            row: i,
+                            col: j,
+                            bits: v.to_bits(),
+                        })
+                    }
+                }
+            }
+            od[i * n + j] = v;
+        }
+    }
+    Ok((out, stats))
+}
+
 /// FP16 (DLFloat) matrix multiply with chunked accumulation.
 pub fn matmul_fp16(a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
     matmul_emulated(FmaMode::Fp16, a, b, chunk_len)
@@ -634,6 +731,98 @@ pub fn matmul_int_scalar(
     let out_scale = qa.scale() * qb.scale();
     let stats = matmul_int_codes_scalar(&ca, &cb, m, k, n, chunk_len, out_scale, out.as_mut_slice());
     (out, stats)
+}
+
+/// [`matmul_int`] with fault injection and a numeric guard.
+///
+/// With `faults == None` (or a plan whose MAC injectors are disabled) this
+/// delegates to the bit-exact fast path, except that
+/// [`GuardPolicy::Error`] forces the scalar datapath model whenever INT16
+/// saturation is possible for the requested chunk length, so the first
+/// overflow can be located. With an active plan it corrupts integer codes
+/// and the chunk register per the plan and applies `policy` when the chunk
+/// register saturates or is pushed past the legal worst-case bound.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on incompatible operands, and
+/// [`NumericsError::Overflow`] under [`GuardPolicy::Error`] when the chunk
+/// register overflows.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+pub fn matmul_int_guarded(
+    a: &Tensor,
+    b: &Tensor,
+    qa: QuantParams,
+    qb: QuantParams,
+    chunk_len: usize,
+    policy: GuardPolicy,
+    faults: Option<&mut FaultPlan>,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let (m, k, n) = check_matmul_shapes(a, b)?;
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let worst = |p: QuantParams| {
+        let (lo, hi) = p.code_range();
+        i64::from(lo.unsigned_abs().max(hi.unsigned_abs()))
+    };
+    let window = chunk_len.min(k.max(1)) as i64;
+    let legal_bound = window * worst(qa) * worst(qb);
+    let mut plan = faults.filter(|p| p.mac_enabled());
+    let saturation_possible = legal_bound > i64::from(i16::MAX);
+    if plan.is_none() && !(policy == GuardPolicy::Error && saturation_possible) {
+        return matmul_int_checked(a, b, qa, qb, chunk_len);
+    }
+    let ca: Vec<i8> = a.as_slice().iter().map(|&x| qa.quantize(x)).collect();
+    let cb: Vec<i8> = b.as_slice().iter().map(|&x| qb.quantize(x)).collect();
+    let out_scale = qa.scale() * qb.scale();
+    let bound = legal_bound.min(i64::from(i16::MAX)) as i16;
+    let (bits_a, bits_b) = (qa.format().bits(), qb.format().bits());
+    let mut out = Tensor::zeros(vec![m, n]);
+    let od = out.as_mut_slice();
+    let mut stats = GemmStats::default();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = IntAccumulator::new(chunk_len);
+            let mut sats_seen = 0u64;
+            for p in 0..k {
+                let (mut x, mut y) = (ca[i * k + p], cb[p * n + j]);
+                if let Some(plan) = plan.as_deref_mut() {
+                    x = plan.int_code(x, bits_a);
+                    y = plan.int_code(y, bits_b);
+                }
+                acc.mac(x, y);
+                if let Some(plan) = plan.as_deref_mut() {
+                    acc.corrupt_chunk(|v| plan.int_chunk(v));
+                }
+                if policy.checks() {
+                    let breached = acc.saturations() > sats_seen
+                        || acc.chunk_value().unsigned_abs() > bound.unsigned_abs();
+                    sats_seen = acc.saturations();
+                    if breached {
+                        match policy {
+                            GuardPolicy::Saturate => {
+                                acc.corrupt_chunk(|v| v.clamp(-bound, bound))
+                            }
+                            _ => {
+                                return Err(NumericsError::Overflow {
+                                    row: i,
+                                    col: j,
+                                    saturations: acc.saturations(),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+            stats.macs += acc.macs();
+            stats.zero_gated += acc.zero_gated();
+            stats.saturations += acc.saturations();
+            od[i * n + j] = acc.finish() as f32 * out_scale;
+        }
+    }
+    Ok((out, stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1280,6 +1469,130 @@ mod tests {
         let (iscalar, iss) = conv2d_int_scalar(&input, &weight, spec, qa, qa, 16);
         assert_bits_eq(&ifast, &iscalar);
         assert_eq!(ifs, iss);
+    }
+
+    #[test]
+    fn guarded_kernels_without_active_faults_are_bit_exact() {
+        use rapid_fault::FaultPlan;
+        let a = rand_mat(5, 33, 70);
+        let b = rand_mat(33, 6, 71);
+        let mode = FmaMode::hfp8_fwd_default();
+        let (base, bs) = matmul_emulated(mode, &a, &b, 64);
+        for faults in [None, Some(&mut FaultPlan::disabled())] {
+            let (got, gs) =
+                matmul_emulated_guarded(mode, &a, &b, 64, GuardPolicy::Error, faults).unwrap();
+            assert_bits_eq(&base, &got);
+            assert_eq!(bs, gs);
+        }
+        let q = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 1.0);
+        let (bi, bis) = matmul_int(&a, &b, q, q, 64);
+        let (gi, gis) =
+            matmul_int_guarded(&a, &b, q, q, 64, GuardPolicy::Error, Some(&mut FaultPlan::disabled()))
+                .unwrap();
+        assert_bits_eq(&bi, &gi);
+        assert_eq!(bis, gis);
+    }
+
+    #[test]
+    fn error_policy_catches_injected_exponent_upsets() {
+        use rapid_fault::{FaultConfig, FaultPlan};
+        let a = rand_mat(4, 256, 72);
+        let b = rand_mat(256, 4, 73);
+        let mut caught = 0;
+        for seed in 0..8 {
+            let cfg = FaultConfig {
+                seed,
+                mac_acc_rate: 0.02,
+                exponent_share: 1.0,
+                ..FaultConfig::default()
+            };
+            let mut plan = FaultPlan::new(cfg);
+            let r = matmul_emulated_guarded(
+                FmaMode::Fp16,
+                &a,
+                &b,
+                64,
+                GuardPolicy::Error,
+                Some(&mut plan),
+            );
+            if let Err(e) = r {
+                assert!(matches!(e, NumericsError::NonFinite { .. }), "unexpected {e:?}");
+                caught += 1;
+            }
+        }
+        assert!(caught > 0, "no seed out of 8 produced a non-finite accumulator");
+    }
+
+    #[test]
+    fn saturate_policy_keeps_faulty_output_finite() {
+        use rapid_fault::{FaultConfig, FaultPlan};
+        let a = rand_mat(4, 256, 74);
+        let b = rand_mat(256, 4, 75);
+        let cfg = FaultConfig {
+            seed: 5,
+            mac_operand_rate: 0.01,
+            mac_acc_rate: 0.01,
+            exponent_share: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let (out, _) = matmul_emulated_guarded(
+            FmaMode::Fp16,
+            &a,
+            &b,
+            64,
+            GuardPolicy::Saturate,
+            Some(&mut plan),
+        )
+        .unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        assert!(plan.counts().mac_operand_flips + plan.counts().mac_acc_flips > 0);
+    }
+
+    #[test]
+    fn int_guard_locates_chunk_overflow() {
+        // chunk_len 1024 × worst product 49 exceeds i16::MAX: saturation
+        // occurs, and the Error policy pinpoints the first overflow.
+        let a = Tensor::from_fn(vec![2, 2048], |_| 1.0);
+        let b = Tensor::from_fn(vec![2048, 2], |_| 1.0);
+        let qa = QuantParams::with_scale(IntFormat::Int4, Signedness::Signed, 1.0 / 7.0).unwrap();
+        let err = matmul_int_guarded(&a, &b, qa, qa, 1024, GuardPolicy::Error, None).unwrap_err();
+        assert!(
+            matches!(err, NumericsError::Overflow { row: 0, col: 0, .. }),
+            "unexpected {err:?}"
+        );
+        // Saturate matches the hardware register's native behavior.
+        let (sat, stats) =
+            matmul_int_guarded(&a, &b, qa, qa, 1024, GuardPolicy::Saturate, None).unwrap();
+        let (scalar, _) = matmul_int_scalar(&a, &b, qa, qa, 1024);
+        assert!(stats.saturations > 0);
+        assert_bits_eq(&sat, &scalar);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_faulty_output() {
+        use rapid_fault::{FaultConfig, FaultPlan};
+        let a = rand_mat(4, 64, 76);
+        let b = rand_mat(64, 4, 77);
+        let cfg = FaultConfig { seed: 9, mac_operand_rate: 0.05, ..FaultConfig::default() };
+        let run = || {
+            let mut plan = FaultPlan::new(cfg);
+            let (out, _) = matmul_emulated_guarded(
+                FmaMode::hfp8_fwd_default(),
+                &a,
+                &b,
+                64,
+                GuardPolicy::Propagate,
+                Some(&mut plan),
+            )
+            .unwrap();
+            (out, plan.trace().to_vec(), plan.counts())
+        };
+        let (o1, t1, c1) = run();
+        let (o2, t2, c2) = run();
+        assert_bits_eq(&o1, &o2);
+        assert_eq!(t1, t2);
+        assert_eq!(c1, c2);
     }
 
     #[test]

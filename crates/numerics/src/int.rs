@@ -240,6 +240,19 @@ impl IntAccumulator {
         self.in_chunk = 0;
     }
 
+    /// Current value of the INT16 chunk register (fault-injection hooks and
+    /// numeric guards inspect it between MACs).
+    pub fn chunk_value(&self) -> i16 {
+        self.chunk_acc
+    }
+
+    /// Applies `f` to the chunk register in place — the entry point for
+    /// injected chunk-register upsets and for guard-policy clamping. Leaves
+    /// every statistic untouched.
+    pub fn corrupt_chunk(&mut self, f: impl FnOnce(i16) -> i16) {
+        self.chunk_acc = f(self.chunk_acc);
+    }
+
     /// Total MACs issued.
     pub fn macs(&self) -> u64 {
         self.macs

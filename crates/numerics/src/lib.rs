@@ -34,6 +34,10 @@
 //! * [`gemm`] — emulated GEMM and convolution kernels for every supported
 //!   precision, returning both numeric results and datapath statistics
 //!   (MAC counts, zero-gated MACs) consumed by the power model.
+//! * [`guard`] — numeric guard policies ([`GuardPolicy`]) applied by the
+//!   fault-injectable kernel variants ([`gemm::matmul_emulated_guarded`],
+//!   [`gemm::matmul_int_guarded`]) when an accumulator goes non-finite or
+//!   an INT16 chunk register overflows.
 //!
 //! # Example
 //!
@@ -57,6 +61,7 @@ pub mod error;
 pub mod fma;
 pub mod format;
 pub mod gemm;
+pub mod guard;
 pub mod int;
 pub mod lut;
 pub mod qtensor;
@@ -66,6 +71,7 @@ pub mod types;
 
 pub use error::NumericsError;
 pub use format::FpFormat;
+pub use guard::GuardPolicy;
 pub use int::{IntFormat, QuantParams};
 pub use qtensor::QTensor;
 pub use tensor::Tensor;

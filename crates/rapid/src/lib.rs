@@ -14,7 +14,8 @@
 //! | [`workloads`] | `rapid-workloads` | the 11-benchmark DNN suite with pruning profiles |
 //! | [`compiler`] | `rapid-compiler` | precision assignment, weight-stationary dataflow mapping, throttling schedules |
 //! | [`model`] | `rapid-model` | calibrated analytical performance/power model (inference, training, scaling) |
-//! | [`sim`] | `rapid-sim` | cycle-approximate, functionally-executing core simulator |
+//! | [`sim`] | `rapid-sim` | cycle-approximate, functionally-executing core simulator with deadlock watchdogs |
+//! | [`fault`] | `rapid-fault` | deterministic seeded fault injection (MAC bit-flips, ring drops/delays, sequencer stalls) |
 //! | [`ring`] | `rapid-ring` | bidirectional ring + MNI multicast simulator |
 //! | [`quant`] | `rapid-quant` | PACT, SaWB, magnitude pruning |
 //! | [`refnet`] | `rapid-refnet` | reference trainer demonstrating HFP8 parity and INT4/INT2 PTQ |
@@ -39,6 +40,7 @@
 
 pub use rapid_arch as arch;
 pub use rapid_compiler as compiler;
+pub use rapid_fault as fault;
 pub use rapid_model as model;
 pub use rapid_numerics as numerics;
 pub use rapid_quant as quant;

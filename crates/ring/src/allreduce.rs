@@ -97,6 +97,7 @@ pub fn analytic_allreduce_cycles(weights: u64, cfg: &AllReduceConfig) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

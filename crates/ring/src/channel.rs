@@ -96,20 +96,30 @@ impl Channel {
     /// Advances every flit one hop where the next slot frees up this
     /// cycle; bunched flits stall behind occupied slots.
     pub fn advance(&mut self) {
+        self.advance_with_holds(&[]);
+    }
+
+    /// [`Channel::advance`], but slots flagged in `held` keep their flit in
+    /// place this cycle (fault injection models a slow repeater /
+    /// transient backpressure); upstream flits stall behind a held one
+    /// exactly as behind any other blockage. Indices beyond `held.len()`
+    /// are treated as not held, so `&[]` is a plain advance.
+    pub fn advance_with_holds(&mut self, held: &[bool]) {
         let n = self.slots.len();
         if n == 0 {
             return;
         }
+        let is_held = |i: usize| held.get(i).copied().unwrap_or(false);
         let mut moves = vec![false; n];
         // A flit moves if its next slot is empty, or its occupant moves
         // too: propagate backwards along the travel direction from every
-        // empty slot.
+        // empty slot, stopping at held flits.
         for e in 0..n {
             if self.slots[e].is_some() {
                 continue;
             }
             let mut j = self.prev(e);
-            while self.slots[j].is_some() && !moves[j] {
+            while self.slots[j].is_some() && !moves[j] && !is_held(j) {
                 moves[j] = true;
                 j = self.prev(j);
                 if j == e {
@@ -168,6 +178,7 @@ pub fn shortest_direction(n: usize, src: usize, dst: usize) -> Direction {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -219,6 +230,22 @@ mod tests {
             assert_eq!(c.at(i).unwrap().tag, i as u16);
         }
         assert_eq!(c.hops, 0);
+    }
+
+    #[test]
+    fn held_slot_stalls_itself_and_followers() {
+        let mut c = Channel::new(5, Direction::Cw);
+        assert!(c.inject(0, flit(1)));
+        assert!(c.inject(1, flit(2)));
+        // Hold the flit at slot 1: neither it nor the one behind moves.
+        c.advance_with_holds(&[false, true, false, false, false]);
+        assert_eq!(c.at(0).unwrap().tag, 1);
+        assert_eq!(c.at(1).unwrap().tag, 2);
+        assert_eq!(c.hops, 0);
+        // Released: both move.
+        c.advance_with_holds(&[]);
+        assert_eq!(c.at(1).unwrap().tag, 1);
+        assert_eq!(c.at(2).unwrap().tag, 2);
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! # Ok::<(), rapid_ring::sim::RingTimeout>(())
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod allreduce;
 pub mod channel;
 pub mod node;
@@ -43,4 +45,4 @@ pub mod sim;
 pub use allreduce::{analytic_allreduce_cycles, simulate_allreduce, AllReduceConfig, AllReduceResult};
 pub use channel::{Channel, Direction, Flit, FLIT_BYTES};
 pub use node::MniNode;
-pub use sim::{memory_read, multicast, unicast, RingSim, RingTimeout};
+pub use sim::{memory_read, multicast, unicast, RingError, RingSim, RingTimeout};

@@ -61,6 +61,10 @@ pub struct MniNode {
     /// Requests this node still has to put on the ring: `(producer, tag,
     /// bytes, consumers)`.
     pub request_backlog: VecDeque<(usize, u16, u64, u8)>,
+    /// Data flits this node must resend because a delivery was dropped
+    /// (fault injection): `(tag, destination mask)`. Retransmissions take
+    /// priority over new stream flits at the injection stage.
+    pub retransmit: VecDeque<(u16, u64)>,
     /// Whether requests alone arm sends (true for the memory-interface
     /// node, which serves reads without a program; cores send only after
     /// their program executes the matching `Send`).
@@ -82,6 +86,7 @@ impl MniNode {
             load_queue: HashMap::new(),
             max_outstanding: 16,
             request_backlog: VecDeque::new(),
+            retransmit: VecDeque::new(),
             auto_send: false,
             received_bytes: 0,
             completed: Vec::new(),
@@ -95,6 +100,7 @@ impl MniNode {
             && self.active_send.is_none()
             && self.load_queue.is_empty()
             && self.request_backlog.is_empty()
+            && self.retransmit.is_empty()
     }
 
     /// Registers an incoming consumer request with the SU; when the group
@@ -163,8 +169,10 @@ impl MniNode {
             .pending_sends
             .get(&tag)
             .is_some_and(|p| p.consumers_needed > 0 && p.consumers_seen.len() >= p.consumers_needed as usize);
-        if ready {
-            let p = self.pending_sends.remove(&tag).expect("checked above");
+        if !ready {
+            return;
+        }
+        if let Some(p) = self.pending_sends.remove(&tag) {
             let mut dests = 0u64;
             for c in &p.consumers_seen {
                 dests |= 1 << c;
@@ -210,6 +218,7 @@ impl MniNode {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

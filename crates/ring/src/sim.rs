@@ -4,6 +4,7 @@
 use crate::channel::{shortest_direction, Channel, Direction, Flit};
 use crate::node::MniNode;
 use rapid_arch::isa::MniInstr;
+use rapid_fault::{DeliveryFault, FaultPlan};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
@@ -23,6 +24,42 @@ impl fmt::Display for RingTimeout {
 
 impl Error for RingTimeout {}
 
+/// Structured errors from ring construction and programming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingError {
+    /// A construction parameter is out of the supported range.
+    InvalidConfig(String),
+    /// A node id addressed a node the ring does not have.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the ring (cores + memory interface).
+        nodes: usize,
+    },
+    /// The simulation did not drain within its cycle budget.
+    Timeout(RingTimeout),
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::InvalidConfig(msg) => write!(f, "invalid ring configuration: {msg}"),
+            RingError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range (ring has {nodes} nodes)")
+            }
+            RingError::Timeout(t) => t.fmt(f),
+        }
+    }
+}
+
+impl Error for RingError {}
+
+impl From<RingTimeout> for RingError {
+    fn from(t: RingTimeout) -> Self {
+        RingError::Timeout(t)
+    }
+}
+
 /// A bidirectional-ring system: `n_cores` cores plus one external-memory
 /// interface node (id = `n_cores`), as in the 4-core chip of Fig 9.
 #[derive(Debug, Clone)]
@@ -33,6 +70,9 @@ pub struct RingSim {
     mem_delay: VecDeque<(u64, u16, usize, u64, u8)>, // (ready, tag, from, bytes, consumers)
     mem_latency: u64,
     cycle: u64,
+    faults: Option<FaultPlan>,
+    cw_holds: Vec<u32>,
+    ccw_holds: Vec<u32>,
 }
 
 impl RingSim {
@@ -43,20 +83,57 @@ impl RingSim {
     ///
     /// Panics if `n_cores` is 0 or the ring would exceed 63 nodes (the
     /// destination bitmask width).
+    #[allow(clippy::expect_used)] // infallible wrapper kept for existing callers
     pub fn new(n_cores: usize, mem_latency: u64) -> Self {
-        assert!(n_cores > 0, "need at least one core");
+        Self::try_new(n_cores, mem_latency).expect("invalid ring configuration")
+    }
+
+    /// [`RingSim::new`], returning an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::InvalidConfig`] if `n_cores` is 0 or the ring
+    /// would exceed 63 nodes (the destination bitmask width).
+    pub fn try_new(n_cores: usize, mem_latency: u64) -> Result<Self, RingError> {
+        if n_cores == 0 {
+            return Err(RingError::InvalidConfig("need at least one core".into()));
+        }
         let n = n_cores + 1;
-        assert!(n <= 63, "destination mask supports at most 63 nodes");
+        if n > 63 {
+            return Err(RingError::InvalidConfig(format!(
+                "destination mask supports at most 63 nodes, got {n}"
+            )));
+        }
         let mut nodes: Vec<MniNode> = (0..n).map(MniNode::new).collect();
         nodes[n - 1].auto_send = true; // the memory interface serves reads
-        Self {
+        Ok(Self {
             nodes,
             cw: Channel::new(n, Direction::Cw),
             ccw: Channel::new(n, Direction::Ccw),
             mem_delay: VecDeque::new(),
             mem_latency,
             cycle: 0,
-        }
+            faults: None,
+            cw_holds: vec![0; n],
+            ccw_holds: vec![0; n],
+        })
+    }
+
+    /// Installs a fault plan: subsequent cycles draw drop/duplicate/delay
+    /// faults from it. Passing a disabled plan is equivalent to none.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes and returns the installed fault plan (with its accumulated
+    /// trace and counts).
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// The memory node's id.
@@ -74,8 +151,28 @@ impl RingSim {
     /// # Panics
     ///
     /// Panics if `node` is out of range.
+    #[allow(clippy::expect_used)] // infallible wrapper kept for existing callers
     pub fn push_program(&mut self, node: usize, instrs: impl IntoIterator<Item = MniInstr>) {
-        self.nodes[node].program.extend(instrs);
+        self.try_push_program(node, instrs).expect("node out of range");
+    }
+
+    /// [`RingSim::push_program`], returning an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingError::NodeOutOfRange`] if `node` is not a valid node
+    /// id.
+    pub fn try_push_program(
+        &mut self,
+        node: usize,
+        instrs: impl IntoIterator<Item = MniInstr>,
+    ) -> Result<(), RingError> {
+        let nodes = self.nodes.len();
+        let Some(n) = self.nodes.get_mut(node) else {
+            return Err(RingError::NodeOutOfRange { node, nodes });
+        };
+        n.program.extend(instrs);
+        Ok(())
     }
 
     /// Payload bytes received by a node so far.
@@ -149,20 +246,39 @@ impl RingSim {
                         self.nodes[i].accept_request(tag, from, bytes, cons);
                     }
                 } else {
-                    let tag = f.tag;
+                    let (tag, src) = (f.tag, f.src);
+                    // Delivery faults apply to data flits only: requests
+                    // are single control flits the protocol cannot lose.
+                    let fate = match self.faults.as_mut() {
+                        Some(p) => p.ring_delivery(),
+                        None => None,
+                    };
                     f.dests &= !(1 << i);
                     let empty = f.dests == 0;
                     if empty {
                         *slot = None;
                     }
-                    self.nodes[i].accept_data(tag);
+                    match fate {
+                        Some(DeliveryFault::Drop) => {
+                            // This copy is lost at the consumer; the
+                            // source retransmits it (link-level retry).
+                            self.nodes[src].retransmit.push_back((tag, 1 << i));
+                        }
+                        Some(DeliveryFault::Duplicate) => {
+                            self.nodes[i].accept_data(tag);
+                            self.nodes[i].accept_data(tag);
+                        }
+                        None => {
+                            self.nodes[i].accept_data(tag);
+                        }
+                    }
                 }
             }
         }
 
-        // 2. Transport.
-        self.cw.advance();
-        self.ccw.advance();
+        // 2. Transport (an installed fault plan may hold flits in place).
+        advance_channel(&mut self.cw, &mut self.cw_holds, self.faults.as_mut());
+        advance_channel(&mut self.ccw, &mut self.ccw_holds, self.faults.as_mut());
 
         // 3. Memory service: aged requests reach the memory SU, which
         //    aggregates multicast groups exactly like a core's MNI-SU.
@@ -204,6 +320,30 @@ impl RingSim {
                     self.nodes[i].request_backlog.pop_front();
                 }
             }
+            // Retransmissions of dropped deliveries take this cycle's data
+            // slot with priority over new stream flits.
+            if let Some(&(tag, dests)) = self.nodes[i].retransmit.front() {
+                let d = dests.trailing_zeros() as usize;
+                let chan = match shortest_direction(n, i, d) {
+                    Direction::Cw => &mut self.cw,
+                    Direction::Ccw => &mut self.ccw,
+                };
+                if chan.may_inject(i) {
+                    let flit = Flit {
+                        tag,
+                        src: i,
+                        dests,
+                        is_request: false,
+                        req_bytes: 0,
+                        req_consumers: 0,
+                        last: false,
+                    };
+                    let ok = chan.inject(i, flit);
+                    debug_assert!(ok, "may_inject checked the slot");
+                    self.nodes[i].retransmit.pop_front();
+                }
+                continue;
+            }
             // Data streams: multicast goes clockwise (all consumers pass),
             // unicast takes the shorter arc.
             let (dests, tag, flits_left) = match &self.nodes[i].active_send {
@@ -232,11 +372,12 @@ impl RingSim {
                 };
                 let ok = chan.inject(i, flit);
                 debug_assert!(ok, "may_inject checked the slot");
-                let s = self.nodes[i].active_send.as_mut().expect("checked above");
-                s.flits_left -= 1;
-                if s.flits_left == 0 {
-                    self.nodes[i].active_send = None;
-                    self.nodes[i].activate_next();
+                if let Some(s) = self.nodes[i].active_send.as_mut() {
+                    s.flits_left -= 1;
+                    if s.flits_left == 0 {
+                        self.nodes[i].active_send = None;
+                        self.nodes[i].activate_next();
+                    }
                 }
             }
         }
@@ -257,6 +398,30 @@ impl RingSim {
             self.step();
         }
         Ok(self.cycle - start)
+    }
+}
+
+/// Advances one channel, first drawing hold faults for occupied slots that
+/// are not already held, then decrementing the per-slot hold counters. With
+/// no plan installed this is a plain [`Channel::advance`].
+fn advance_channel(chan: &mut Channel, holds: &mut [u32], plan: Option<&mut FaultPlan>) {
+    if let Some(plan) = plan {
+        for (s, hold) in holds.iter_mut().enumerate().take(chan.len()) {
+            if *hold == 0 && chan.at(s).is_some() {
+                if let Some(cycles) = plan.ring_hold() {
+                    *hold = cycles;
+                }
+            }
+        }
+    }
+    if holds.iter().any(|&h| h > 0) {
+        let held: Vec<bool> = holds.iter().map(|&h| h > 0).collect();
+        chan.advance_with_holds(&held);
+        for h in holds.iter_mut() {
+            *h = h.saturating_sub(1);
+        }
+    } else {
+        chan.advance();
     }
 }
 
@@ -308,9 +473,11 @@ pub fn memory_read(sim: &mut RingSim, tag: u16, consumers: &[usize], bytes: u32)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::channel::FLIT_BYTES;
+    use rapid_fault::FaultConfig;
 
     #[test]
     fn unicast_achieves_link_bandwidth() {
@@ -424,6 +591,117 @@ mod tests {
         let t_dual = dual.run_until_idle(100_000).unwrap();
         assert!(t_dual < t_solo + 20, "dual {t_dual} vs solo {t_solo}");
         assert_eq!(dual.received_bytes(1), 2 * u64::from(bytes));
+    }
+
+    #[test]
+    fn try_new_and_try_push_program_reject_bad_args() {
+        assert!(matches!(RingSim::try_new(0, 10), Err(RingError::InvalidConfig(_))));
+        assert!(matches!(RingSim::try_new(63, 10), Err(RingError::InvalidConfig(_))));
+        let mut sim = RingSim::try_new(4, 10).unwrap();
+        let err = sim
+            .try_push_program(
+                9,
+                [MniInstr::Send { tag: 1, bytes: 128, local_addr: 0, consumers: 1 }],
+            )
+            .unwrap_err();
+        assert_eq!(err, RingError::NodeOutOfRange { node: 9, nodes: 5 });
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn transfers_complete_exactly_under_drop_faults() {
+        // Dropped deliveries retransmit: every byte still arrives exactly
+        // once, it just takes longer.
+        let bytes = 16 * 1024;
+        let mut sim = RingSim::new(4, 10);
+        sim.set_fault_plan(FaultPlan::new(FaultConfig {
+            seed: 11,
+            ring_drop_rate: 0.05,
+            ..FaultConfig::default()
+        }));
+        unicast(&mut sim, 1, 0, 2, bytes);
+        sim.run_until_idle(100_000).expect("drains despite drops");
+        assert_eq!(sim.received_bytes(2), u64::from(bytes));
+        let plan = sim.take_fault_plan().unwrap();
+        assert!(plan.counts().ring_drops > 0, "plan should have fired");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_received_bytes() {
+        let bytes = 16 * 1024;
+        let mut sim = RingSim::new(4, 10);
+        sim.set_fault_plan(FaultPlan::new(FaultConfig {
+            seed: 3,
+            ring_dup_rate: 0.1,
+            ..FaultConfig::default()
+        }));
+        unicast(&mut sim, 1, 0, 2, bytes);
+        sim.run_until_idle(100_000).expect("drains");
+        assert!(sim.take_fault_plan().unwrap().counts().ring_dups > 0);
+        // bytes_left accounting self-caps each take, so duplicates shorten
+        // the tail instead of over-counting.
+        assert_eq!(sim.received_bytes(2), u64::from(bytes));
+    }
+
+    #[test]
+    fn delays_slow_but_do_not_wedge_the_ring() {
+        let bytes = 8 * 1024;
+        let mut clean = RingSim::new(4, 10);
+        unicast(&mut clean, 1, 0, 2, bytes);
+        let t_clean = clean.run_until_idle(100_000).unwrap();
+
+        let mut faulty = RingSim::new(4, 10);
+        faulty.set_fault_plan(FaultPlan::new(FaultConfig {
+            seed: 7,
+            ring_delay_rate: 0.05,
+            ring_delay_cycles: 8,
+            ..FaultConfig::default()
+        }));
+        unicast(&mut faulty, 1, 0, 2, bytes);
+        let t_faulty = faulty.run_until_idle(1_000_000).expect("drains despite delays");
+        assert_eq!(faulty.received_bytes(2), u64::from(bytes));
+        assert!(faulty.take_fault_plan().unwrap().counts().ring_holds > 0);
+        assert!(t_faulty > t_clean, "holds must cost cycles: {t_faulty} vs {t_clean}");
+    }
+
+    #[test]
+    fn multicast_survives_combined_faults() {
+        let bytes = 8 * 1024;
+        let mut sim = RingSim::new(4, 10);
+        sim.set_fault_plan(FaultPlan::new(FaultConfig {
+            seed: 23,
+            ring_drop_rate: 0.02,
+            ring_dup_rate: 0.02,
+            ring_delay_rate: 0.02,
+            ..FaultConfig::default()
+        }));
+        multicast(&mut sim, 5, 0, &[1, 2, 3], bytes);
+        sim.run_until_idle(1_000_000).expect("drains");
+        for c in [1, 2, 3] {
+            assert_eq!(sim.received_bytes(c), u64::from(bytes), "consumer {c}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_fault_history() {
+        let run = || {
+            let mut sim = RingSim::new(4, 10);
+            sim.set_fault_plan(FaultPlan::new(FaultConfig {
+                seed: 42,
+                ring_drop_rate: 0.03,
+                ring_delay_rate: 0.03,
+                ..FaultConfig::default()
+            }));
+            unicast(&mut sim, 1, 0, 2, 8 * 1024);
+            let cycles = sim.run_until_idle(1_000_000).unwrap();
+            let plan = sim.take_fault_plan().unwrap();
+            (cycles, plan.trace().to_vec(), plan.counts())
+        };
+        let (c1, t1, n1) = run();
+        let (c2, t2, n2) = run();
+        assert_eq!(c1, c2);
+        assert_eq!(t1, t2);
+        assert_eq!(n1, n2);
     }
 
     #[test]

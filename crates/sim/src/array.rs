@@ -18,6 +18,7 @@
 //! cycle counts are what the calibration experiment (E9) compares with the
 //! analytical model.
 
+use crate::error::SimError;
 use crate::seq::Link;
 use crate::token::TokenFile;
 use rapid_arch::geometry::CoreletConfig;
@@ -112,10 +113,35 @@ impl MpeArray {
     ///
     /// # Panics
     ///
-    /// Panics if the job has no tiles or a zero reduction.
+    /// Panics if the job has no tiles or a zero reduction. Use
+    /// [`MpeArray::try_new`] for a structured error instead.
+    // Infallible wrapper: the only failure is the validated job shape.
+    #[allow(clippy::expect_used)]
     pub fn new(cfg: CoreletConfig, job: ArrayJob, datapath: Datapath) -> Self {
-        assert!(!job.tiles.is_empty(), "job must own at least one tile");
-        assert!(job.k > 0 && job.m > 0, "degenerate GEMM");
+        Self::try_new(cfg, job, datapath).expect("invalid array job")
+    }
+
+    /// [`MpeArray::new`] that rejects structurally invalid jobs (no tiles,
+    /// zero reduction, or no stream positions) with
+    /// [`SimError::InvalidConfig`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending field.
+    pub fn try_new(
+        cfg: CoreletConfig,
+        job: ArrayJob,
+        datapath: Datapath,
+    ) -> Result<Self, SimError> {
+        if job.tiles.is_empty() {
+            return Err(SimError::InvalidConfig("job must own at least one tile".to_string()));
+        }
+        if job.k == 0 || job.m == 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "degenerate GEMM: m = {}, k = {}",
+                job.m, job.k
+            )));
+        }
         let ci_lrf = u64::from(cfg.ci_lrf_max(job.precision));
         let n_blocks = job.k.div_ceil(ci_lrf);
         let mut array = Self {
@@ -137,7 +163,7 @@ impl MpeArray {
             zero_gated: 0,
         };
         array.start_tile();
-        array
+        Ok(array)
     }
 
     fn ci_lrf(&self) -> u64 {
@@ -185,6 +211,22 @@ impl MpeArray {
     /// Total cycles the array has been ticked.
     pub fn total_cycles(&self) -> u64 {
         self.phase_cycles.iter().sum()
+    }
+
+    /// A composite counter that changes whenever the array makes forward
+    /// progress, for watchdog change-detection. Deliberately excludes the
+    /// block-load and starvation cycle counters, which tick even when the
+    /// array is wedged waiting on data that will never arrive.
+    pub fn progress_marker(&self) -> u64 {
+        self.macs
+            .wrapping_add(self.outputs.len() as u64)
+            .wrapping_add(self.lrf_filled)
+            .wrapping_add(self.pos)
+            .wrapping_add(self.pos_buf.len() as u64)
+            .wrapping_add(self.block_idx)
+            .wrapping_add(self.tile_idx as u64)
+            .wrapping_add(self.phase_cycles[1])
+            .wrapping_add(self.phase_cycles[2])
     }
 
     /// One cycle: consumes from the weight/input links per the phase.
@@ -239,6 +281,9 @@ impl MpeArray {
 
     /// Issues the FMMA work of one completed input position against the
     /// stationary block.
+    // The accumulator bank invariantly exists between start_tile and
+    // finish_block; a violation is a simulator bug, not a runtime input.
+    #[allow(clippy::expect_used)]
     fn issue_position(&mut self) {
         let w = self.tile_width() as usize;
         let base = (self.pos as usize) * w;
@@ -267,6 +312,8 @@ impl MpeArray {
         }
     }
 
+    // Same invariant as issue_position: the bank exists and is m*w long.
+    #[allow(clippy::expect_used)]
     fn finish_block(&mut self, tokens: &mut TokenFile) {
         tokens.signal(TOKEN_BLOCK_FREE);
         self.block_idx += 1;
@@ -310,6 +357,7 @@ impl MpeArray {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

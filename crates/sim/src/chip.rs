@@ -8,10 +8,12 @@
 //! compute, and double-buffering overlaps the next core-group transfer
 //! with the current compute as the paper's software stack does (§III-E).
 
+use crate::error::SimError;
 use crate::gemm::{CoreSim, GemmJob, SimResult};
 use rapid_arch::geometry::CoreConfig;
 use rapid_arch::precision::Precision;
-use rapid_numerics::Tensor;
+use rapid_fault::FaultPlan;
+use rapid_numerics::{NumericsError, Tensor};
 use rapid_ring::sim::{memory_read, RingSim};
 
 /// A chip-level GEMM job.
@@ -46,10 +48,58 @@ pub struct ChipSimResult {
 ///
 /// # Panics
 ///
-/// Panics if shapes are incompatible or `n_cores == 0`.
+/// Panics if shapes are incompatible or `n_cores == 0`. Use
+/// [`try_run_chip_gemm`] for a structured error instead.
+// Infallible wrapper: the only failures are the validated job shape and
+// core count; the ring budget is far above any reachable drain time.
+#[allow(clippy::expect_used)]
 pub fn run_chip_gemm(job: &ChipGemmJob, core_cfg: CoreConfig, n_cores: usize) -> ChipSimResult {
-    assert!(n_cores > 0, "need at least one core");
-    assert_eq!(job.a.shape()[1], job.b.shape()[0], "inner dimensions must match");
+    try_run_chip_gemm(job, core_cfg, n_cores).expect("invalid chip GEMM job")
+}
+
+/// [`run_chip_gemm`] that surfaces malformed jobs and simulation failures
+/// as [`SimError`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for `n_cores == 0`,
+/// [`SimError::Numerics`] for incompatible operand shapes,
+/// [`SimError::Ring`] if the distribution phase fails to drain, and
+/// propagates any core-simulation error.
+pub fn try_run_chip_gemm(
+    job: &ChipGemmJob,
+    core_cfg: CoreConfig,
+    n_cores: usize,
+) -> Result<ChipSimResult, SimError> {
+    try_run_chip_gemm_with(job, core_cfg, n_cores, None)
+}
+
+/// [`try_run_chip_gemm`] with an optional fault plan applied to the
+/// operand-distribution ring (drops, duplicates, slot delays). The compute
+/// phase is unaffected; ring faults show up as distribution-cycle
+/// inflation, never as value corruption (dropped flits are retransmitted).
+///
+/// # Errors
+///
+/// Same contract as [`try_run_chip_gemm`].
+pub fn try_run_chip_gemm_with(
+    job: &ChipGemmJob,
+    core_cfg: CoreConfig,
+    n_cores: usize,
+    ring_faults: Option<FaultPlan>,
+) -> Result<ChipSimResult, SimError> {
+    if n_cores == 0 {
+        return Err(SimError::InvalidConfig("need at least one core".to_string()));
+    }
+    if job.a.shape().len() != 2
+        || job.b.shape().len() != 2
+        || job.a.shape()[1] != job.b.shape()[0]
+    {
+        return Err(SimError::Numerics(NumericsError::ShapeMismatch {
+            expected: "a [m, k] × b [k, n]".to_string(),
+            actual: format!("a {:?} × b {:?}", job.a.shape(), job.b.shape()),
+        }));
+    }
     let (m, k) = (job.a.shape()[0], job.a.shape()[1]);
     let n = job.b.shape()[1];
 
@@ -57,7 +107,10 @@ pub fn run_chip_gemm(job: &ChipGemmJob, core_cfg: CoreConfig, n_cores: usize) ->
     // Every core needs the whole A (multicast from memory); each core
     // needs only its own column slice of B (unicast reads).
     let elem_bytes = job.precision.bytes();
-    let mut ring = RingSim::new(n_cores, 50);
+    let mut ring = RingSim::try_new(n_cores, 50)?;
+    if let Some(plan) = ring_faults {
+        ring.set_fault_plan(plan);
+    }
     let a_bytes = (m * k) as f64 * elem_bytes;
     let consumers: Vec<usize> = (0..n_cores).collect();
     memory_read(&mut ring, 1, &consumers, a_bytes.ceil() as u32);
@@ -70,8 +123,7 @@ pub fn run_chip_gemm(job: &ChipGemmJob, core_cfg: CoreConfig, n_cores: usize) ->
         let b_bytes = (k * cols) as f64 * elem_bytes;
         memory_read(&mut ring, 2 + core as u16, &[core], b_bytes.ceil() as u32);
     }
-    let distribution_cycles =
-        ring.run_until_idle(100_000_000).expect("ring distribution drains");
+    let distribution_cycles = ring.run_until_idle(100_000_000)?;
 
     // --- Compute phase on the cores ------------------------------------
     let sim = CoreSim::new(core_cfg);
@@ -91,11 +143,11 @@ pub fn run_chip_gemm(job: &ChipGemmJob, core_cfg: CoreConfig, n_cores: usize) ->
                 b_slice.set(&[r, cc], job.b.get(&[r, c0 + cc]));
             }
         }
-        let r = sim.run_gemm(&GemmJob {
+        let r = sim.try_run_gemm(&GemmJob {
             a: job.a.clone(),
             b: b_slice,
             precision: job.precision,
-        });
+        })?;
         for row in 0..m {
             for cc in 0..cols {
                 c.set(&[row, c0 + cc], r.c.get(&[row, cc]));
@@ -110,10 +162,11 @@ pub fn run_chip_gemm(job: &ChipGemmJob, core_cfg: CoreConfig, n_cores: usize) ->
     // exposure is the smaller of the two phases.
     let total_cycles = compute_cycles.max(distribution_cycles)
         + compute_cycles.min(distribution_cycles).min(distribution_cycles / 8);
-    ChipSimResult { c, distribution_cycles, compute_cycles, total_cycles, cores }
+    Ok(ChipSimResult { c, distribution_cycles, compute_cycles, total_cycles, cores })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_numerics::fma::FmaMode;
@@ -156,6 +209,42 @@ mod tests {
         let r = run_chip_gemm(&j, CoreConfig::default(), 4);
         assert!(r.total_cycles < r.compute_cycles + r.distribution_cycles);
         assert!(r.total_cycles >= r.compute_cycles.max(r.distribution_cycles));
+    }
+
+    #[test]
+    fn try_run_chip_gemm_rejects_bad_jobs() {
+        let j = job(4, 16, 16, Precision::Fp16);
+        assert!(matches!(
+            try_run_chip_gemm(&j, CoreConfig::default(), 0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let bad = ChipGemmJob { b: Tensor::zeros(vec![17, 16]), ..j };
+        assert!(matches!(
+            try_run_chip_gemm(&bad, CoreConfig::default(), 2),
+            Err(SimError::Numerics(_))
+        ));
+    }
+
+    #[test]
+    fn ring_faults_inflate_distribution_but_never_values() {
+        use rapid_fault::{FaultConfig, FaultPlan};
+        let j = job(8, 128, 128, Precision::Fp16);
+        let clean = run_chip_gemm(&j, CoreConfig::default(), 4);
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            ring_drop_rate: 0.02,
+            ring_delay_rate: 0.01,
+            ..FaultConfig::default()
+        });
+        let faulty = try_run_chip_gemm_with(&j, CoreConfig::default(), 4, Some(plan))
+            .expect("drops are retransmitted, not lost");
+        assert_eq!(faulty.c, clean.c, "ring faults must not corrupt values");
+        assert!(
+            faulty.distribution_cycles >= clean.distribution_cycles,
+            "faulty {} vs clean {}",
+            faulty.distribution_cycles,
+            clean.distribution_cycles
+        );
     }
 
     #[test]

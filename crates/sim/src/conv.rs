@@ -3,6 +3,7 @@
 //! Fig 5) and runs the resulting GEMM through the cycle-tick machinery,
 //! optionally fusing the SFU activation stage on the output stream.
 
+use crate::error::SimError;
 use crate::gemm::{CoreSim, GemmJob, SimResult};
 use crate::sfu::{SfuStage, SfuUnit};
 use rapid_arch::precision::Precision;
@@ -54,18 +55,22 @@ impl ConvSimResult {
 ///
 /// Panics if the operand ranks or channel counts are inconsistent, or the
 /// precision is FP32 (SFU-only). Use [`try_run_conv`] for an error instead.
+// Infallible wrapper: the only failures are the validated job shapes.
+#[allow(clippy::expect_used)]
 pub fn run_conv(core: &CoreSim, job: &ConvJob) -> ConvSimResult {
     try_run_conv(core, job).expect("invalid conv job")
 }
 
-/// [`run_conv`] that surfaces malformed jobs as [`NumericsError`] instead of
+/// [`run_conv`] that surfaces malformed jobs as [`SimError`] instead of
 /// panicking.
 ///
 /// # Errors
 ///
-/// Returns [`NumericsError::ShapeMismatch`] for inconsistent operand ranks
-/// or channel counts, and [`NumericsError::InvalidFormat`] for FP32.
-pub fn try_run_conv(core: &CoreSim, job: &ConvJob) -> Result<ConvSimResult, NumericsError> {
+/// Returns [`SimError::Numerics`] wrapping
+/// [`NumericsError::ShapeMismatch`] for inconsistent operand ranks or
+/// channel counts and [`NumericsError::InvalidFormat`] for FP32, and
+/// propagates any error of the underlying GEMM simulation.
+pub fn try_run_conv(core: &CoreSim, job: &ConvJob) -> Result<ConvSimResult, SimError> {
     try_run_conv_with_scratch(core, job, &mut Tensor::default())
 }
 
@@ -81,18 +86,18 @@ pub fn try_run_conv_with_scratch(
     core: &CoreSim,
     job: &ConvJob,
     cols_scratch: &mut Tensor,
-) -> Result<ConvSimResult, NumericsError> {
+) -> Result<ConvSimResult, SimError> {
     if job.input.shape().len() != 4 || job.weight.shape().len() != 4 {
-        return Err(NumericsError::ShapeMismatch {
+        return Err(SimError::Numerics(NumericsError::ShapeMismatch {
             expected: "input [n, ci, h, w] and weight [co, ci, kh, kw]".to_string(),
             actual: format!("input {:?}, weight {:?}", job.input.shape(), job.weight.shape()),
-        });
+        }));
     }
     if job.input.shape()[1] != job.weight.shape()[1] {
-        return Err(NumericsError::ShapeMismatch {
+        return Err(SimError::Numerics(NumericsError::ShapeMismatch {
             expected: format!("input channels = {}", job.weight.shape()[1]),
             actual: format!("input channels = {}", job.input.shape()[1]),
-        });
+        }));
     }
     let (n, _ci, h, w) = (
         job.input.shape()[0],
@@ -114,7 +119,7 @@ pub fn try_run_conv_with_scratch(
         .weight
         .clone()
         .reshape(vec![co, ci * kh * kw])
-        .expect("weight reshape is size-preserving")
+        .map_err(SimError::Numerics)?
         .transposed();
     // Move the scratch buffer into the job (GemmJob owns its operands) and
     // hand it back afterwards so the allocation survives for the next call.
@@ -158,6 +163,7 @@ pub fn try_run_conv_with_scratch(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_numerics::fma::FmaMode;
@@ -234,10 +240,13 @@ mod tests {
         let bad = ConvJob { weight: Tensor::zeros(vec![6, 3, 3, 3]), ..job.clone() };
         assert!(matches!(
             try_run_conv(&core, &bad),
-            Err(NumericsError::ShapeMismatch { .. })
+            Err(SimError::Numerics(NumericsError::ShapeMismatch { .. }))
         ));
         let fp32 = ConvJob { precision: Precision::Fp32, ..job };
-        assert!(matches!(try_run_conv(&core, &fp32), Err(NumericsError::InvalidFormat(_))));
+        assert!(matches!(
+            try_run_conv(&core, &fp32),
+            Err(SimError::Numerics(NumericsError::InvalidFormat(_)))
+        ));
     }
 
     #[test]

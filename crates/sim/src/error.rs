@@ -1,0 +1,150 @@
+//! Structured simulator errors: every failure the cycle-tick machinery
+//! can hit — malformed jobs, numeric guard trips, ring timeouts, and
+//! watchdog-detected deadlocks — surfaces as a [`SimError`] instead of a
+//! panic, with enough state attached to diagnose the hang.
+
+use rapid_numerics::NumericsError;
+use rapid_ring::sim::{RingError, RingTimeout};
+use std::fmt;
+
+/// A point-in-time dump of one sequencer, attached to deadlock reports so
+/// the stuck program counter and blocking token are visible without a
+/// debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqSnapshot {
+    /// Which sequencer this is ("weights", "inputs", or a caller label).
+    pub name: String,
+    /// Program counter at the time of the dump.
+    pub pc: usize,
+    /// Total program length (so `pc == len` reads as "retired").
+    pub program_len: usize,
+    /// The `(token, count)` the sequencer is blocked on, when its current
+    /// instruction is a `WaitToken`.
+    pub waiting_on: Option<(u8, u16)>,
+    /// Elements streamed so far.
+    pub elems_moved: u64,
+    /// Cycles spent stalled.
+    pub stall_cycles: u64,
+}
+
+impl fmt::Display for SeqSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: pc {}/{}, {} elems moved, {} stall cycles",
+            self.name, self.pc, self.program_len, self.elems_moved, self.stall_cycles
+        )?;
+        if let Some((token, count)) = self.waiting_on {
+            write!(f, ", waiting on token {token} (count {count})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from the core/chip simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The watchdog saw no forward progress for its whole window: the
+    /// machine is wedged (e.g. a token-wait cycle). Carries the state
+    /// needed to see *why*.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Per-sequencer state dumps.
+        sequencer_states: Vec<SeqSnapshot>,
+        /// Token counter values `(token, value)` at the time of the hang.
+        waiting_tokens: Vec<(u8, u32)>,
+    },
+    /// A numeric-layer failure (bad shapes, guard trips, invalid formats).
+    Numerics(NumericsError),
+    /// A ring-interconnect failure during operand distribution.
+    Ring(RingError),
+    /// A structurally invalid simulator configuration or job.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle, sequencer_states, waiting_tokens } => {
+                write!(f, "simulation deadlocked at cycle {cycle}: no forward progress")?;
+                for s in sequencer_states {
+                    write!(f, "\n  {s}")?;
+                }
+                if !waiting_tokens.is_empty() {
+                    write!(f, "\n  tokens:")?;
+                    for (t, v) in waiting_tokens {
+                        write!(f, " [{t}]={v}")?;
+                    }
+                }
+                Ok(())
+            }
+            SimError::Numerics(e) => write!(f, "numerics error: {e}"),
+            SimError::Ring(e) => write!(f, "ring error: {e}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Numerics(e) => Some(e),
+            SimError::Ring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for SimError {
+    fn from(e: NumericsError) -> Self {
+        SimError::Numerics(e)
+    }
+}
+
+impl From<RingError> for SimError {
+    fn from(e: RingError) -> Self {
+        SimError::Ring(e)
+    }
+}
+
+impl From<RingTimeout> for SimError {
+    fn from(e: RingTimeout) -> Self {
+        SimError::Ring(RingError::from(e))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlock_display_includes_state() {
+        let e = SimError::Deadlock {
+            cycle: 1234,
+            sequencer_states: vec![SeqSnapshot {
+                name: "weights".to_string(),
+                pc: 3,
+                program_len: 10,
+                waiting_on: Some((0, 1)),
+                elems_moved: 42,
+                stall_cycles: 999,
+            }],
+            waiting_tokens: vec![(0, 0), (1, 2)],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("cycle 1234"), "{msg}");
+        assert!(msg.contains("pc 3/10"), "{msg}");
+        assert!(msg.contains("waiting on token 0"), "{msg}");
+        assert!(msg.contains("[1]=2"), "{msg}");
+    }
+
+    #[test]
+    fn conversions_wrap_sources() {
+        let n: SimError = NumericsError::InvalidFormat("x".to_string()).into();
+        assert!(matches!(n, SimError::Numerics(_)));
+        let t: SimError = RingTimeout { cycles: 7 }.into();
+        assert!(matches!(t, SimError::Ring(RingError::Timeout(_))));
+    }
+}

@@ -3,11 +3,14 @@
 //! cycle-tick simulation to produce both numeric results and cycle counts.
 
 use crate::array::{ArrayJob, Datapath, MpeArray, TOKEN_BLOCK_FREE};
+use crate::error::SimError;
 use crate::seq::{Link, Scratchpad, Sequencer};
 use crate::token::TokenFile;
+use crate::watchdog::{Watchdog, DEFAULT_WATCHDOG_WINDOW};
 use rapid_arch::geometry::CoreConfig;
 use rapid_arch::isa::SeqInstr;
 use rapid_arch::precision::Precision;
+use rapid_fault::FaultPlan;
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
 use rapid_numerics::{NumericsError, QTensor, Tensor};
@@ -80,6 +83,9 @@ impl CoreSim {
     /// Panics if the operand shapes are incompatible or `precision` is
     /// [`Precision::Fp32`] (SFU-only). Use [`CoreSim::try_run_gemm`] to get
     /// an error instead.
+    // Infallible wrapper: the only failures are the validated job shape
+    // and precision; the watchdog cannot trip without fault injection.
+    #[allow(clippy::expect_used)]
     pub fn run_gemm(&self, job: &GemmJob) -> SimResult {
         self.try_run_gemm(job).expect("invalid GEMM job")
     }
@@ -90,23 +96,44 @@ impl CoreSim {
     ///
     /// # Errors
     ///
-    /// Returns [`NumericsError::ShapeMismatch`] when the operands are not
-    /// `[m, k] × [k, n]` matrices, and [`NumericsError::InvalidFormat`] when
-    /// `precision` is [`Precision::Fp32`], which the MPE array cannot run.
-    pub fn try_run_gemm(&self, job: &GemmJob) -> Result<SimResult, NumericsError> {
+    /// Returns [`SimError::Numerics`] wrapping
+    /// [`NumericsError::ShapeMismatch`] when the operands are not
+    /// `[m, k] × [k, n]` matrices or [`NumericsError::InvalidFormat`] when
+    /// `precision` is [`Precision::Fp32`] (which the MPE array cannot run),
+    /// and [`SimError::Deadlock`] if the watchdog sees no forward progress
+    /// for its whole window.
+    pub fn try_run_gemm(&self, job: &GemmJob) -> Result<SimResult, SimError> {
+        self.try_run_gemm_with(job, None)
+    }
+
+    /// [`CoreSim::try_run_gemm`] with an optional fault plan: when a plan
+    /// with a non-zero `seq_stall_rate` is supplied, the corelet sequencers
+    /// randomly lose their token-grant slot for a burst of cycles, and the
+    /// run-loop watchdog converts any resulting wedge into a structured
+    /// [`SimError::Deadlock`]. Passing `None` (or an all-zero-rate plan) is
+    /// the bit-exact fast path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CoreSim::try_run_gemm`].
+    pub fn try_run_gemm_with(
+        &self,
+        job: &GemmJob,
+        mut faults: Option<&mut FaultPlan>,
+    ) -> Result<SimResult, SimError> {
         if job.a.shape().len() != 2
             || job.b.shape().len() != 2
             || job.a.shape()[1] != job.b.shape()[0]
         {
-            return Err(NumericsError::ShapeMismatch {
+            return Err(SimError::Numerics(NumericsError::ShapeMismatch {
                 expected: "a [m, k] × b [k, n]".to_string(),
                 actual: format!("a {:?} × b {:?}", job.a.shape(), job.b.shape()),
-            });
+            }));
         }
         if job.precision == Precision::Fp32 {
-            return Err(NumericsError::InvalidFormat(
+            return Err(SimError::Numerics(NumericsError::InvalidFormat(
                 "FP32 GEMMs do not execute on the MPE array (SFU-only precision)".to_string(),
-            ));
+            )));
         }
         let (m, k) = (job.a.shape()[0] as u64, job.a.shape()[1] as u64);
         let n = job.b.shape()[1] as u64;
@@ -159,7 +186,8 @@ impl CoreSim {
                 &tiles,
                 job.precision,
                 datapath.clone(),
-            );
+                faults.as_deref_mut(),
+            )?;
             for (r, cc, v) in outputs {
                 c.set(&[(row0 + r) as usize, cc as usize], v);
             }
@@ -170,7 +198,7 @@ impl CoreSim {
     }
 
     /// Runs one corelet's share and returns its outputs and report.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
     fn run_corelet(
         &self,
         a: &Tensor,
@@ -182,7 +210,8 @@ impl CoreSim {
         tiles: &[(u64, u64)],
         precision: Precision,
         datapath: Datapath,
-    ) -> (Vec<(u64, u64, f32)>, CoreletReport) {
+        mut faults: Option<&mut FaultPlan>,
+    ) -> Result<(Vec<(u64, u64, f32)>, CoreletReport), SimError> {
         let corelet = self.cfg.corelet;
         let ci_lrf = u64::from(corelet.ci_lrf_max(precision));
         let n_blocks = k.div_ceil(ci_lrf);
@@ -239,19 +268,59 @@ impl CoreSim {
         tokens.signal(TOKEN_BLOCK_FREE); // the first block may load at once
 
         let job = ArrayJob { m, k, tiles: tiles.to_vec(), precision };
-        let mut array = MpeArray::new(corelet, job, datapath);
+        let mut array = MpeArray::try_new(corelet, job, datapath)?;
 
         let mut cycles = 0u64;
         let port = f64::from(corelet.l1_bw_bytes_per_cycle);
+        // Watchdog: a change-detector over the machine's progress counters
+        // replaces the old hard cycle cap, so a wedge surfaces as a
+        // structured deadlock report in bounded time.
+        let mut dog = Watchdog::new(DEFAULT_WATCHDOG_WINDOW);
+        // Fault-injected sequencer stalls: remaining burst cycles per
+        // sequencer (a stalled sequencer loses its port turn entirely).
+        let (mut wstall, mut istall) = (0u32, 0u32);
         while !array.is_done() {
+            if let Some(plan) = faults.as_deref_mut().filter(|p| p.seq_enabled()) {
+                if wstall == 0 {
+                    wstall = plan.seq_stall().unwrap_or(0);
+                }
+                if istall == 0 {
+                    istall = plan.seq_stall().unwrap_or(0);
+                }
+            }
             let mut budget = port;
             // The L1 port serves the weight stream first (block loads are
             // the critical path), then input streaming.
-            wseq.tick(&spad, &mut wlink, &mut tokens, &mut budget);
-            iseq.tick(&spad, &mut ilink, &mut tokens, &mut budget);
+            if wstall > 0 {
+                wstall -= 1;
+                wseq.stall_cycles += 1;
+            } else {
+                wseq.tick(&spad, &mut wlink, &mut tokens, &mut budget);
+            }
+            if istall > 0 {
+                istall -= 1;
+                iseq.stall_cycles += 1;
+            } else {
+                iseq.tick(&spad, &mut ilink, &mut tokens, &mut budget);
+            }
             array.tick(&mut wlink, &mut ilink, &mut tokens);
             cycles += 1;
-            assert!(cycles < 1_000_000_000, "corelet simulation diverged");
+            let marker = array
+                .progress_marker()
+                .wrapping_add(wseq.elems_moved)
+                .wrapping_add(iseq.elems_moved)
+                .wrapping_add(wseq.pc() as u64)
+                .wrapping_add(iseq.pc() as u64);
+            if dog.observe(cycles, marker) {
+                return Err(SimError::Deadlock {
+                    cycle: cycles,
+                    sequencer_states: vec![
+                        wseq.snapshot("weights".to_string()),
+                        iseq.snapshot("inputs".to_string()),
+                    ],
+                    waiting_tokens: tokens.snapshot(),
+                });
+            }
         }
         let report = CoreletReport {
             cycles,
@@ -260,7 +329,7 @@ impl CoreSim {
             zero_gated: array.zero_gated,
             weight_stalls: wseq.stall_cycles,
         };
-        (array.outputs, report)
+        Ok((array.outputs, report))
     }
 }
 
@@ -302,6 +371,7 @@ fn prepare_operands(job: &GemmJob) -> (Tensor, Tensor, Datapath) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_numerics::gemm::{matmul_emulated, matmul_int};
@@ -371,14 +441,35 @@ mod tests {
         };
         assert!(matches!(
             core.try_run_gemm(&bad_shape),
-            Err(NumericsError::ShapeMismatch { .. })
+            Err(SimError::Numerics(NumericsError::ShapeMismatch { .. }))
         ));
         let fp32 = GemmJob {
             a: Tensor::zeros(vec![2, 3]),
             b: Tensor::zeros(vec![3, 2]),
             precision: Precision::Fp32,
         };
-        assert!(matches!(core.try_run_gemm(&fp32), Err(NumericsError::InvalidFormat(_))));
+        assert!(matches!(
+            core.try_run_gemm(&fp32),
+            Err(SimError::Numerics(NumericsError::InvalidFormat(_)))
+        ));
+    }
+
+    #[test]
+    fn seq_stall_faults_slow_the_run_but_stay_bit_exact() {
+        use rapid_fault::{FaultConfig, FaultPlan};
+        let core = CoreSim::rapid();
+        let j = job(8, 128, 64, Precision::Fp16, 64);
+        let clean = core.run_gemm(&j);
+        let mut plan = FaultPlan::new(FaultConfig {
+            seq_stall_rate: 0.01,
+            seq_stall_cycles: 16,
+            ..FaultConfig::default()
+        });
+        let faulty = core.try_run_gemm_with(&j, Some(&mut plan)).expect("stalls only delay");
+        // Sequencer stalls delay data movement but never corrupt it.
+        assert_eq!(faulty.c, clean.c, "values must survive stall faults");
+        assert!(faulty.cycles > clean.cycles, "stalls must cost cycles");
+        assert!(plan.counts().seq_stalls > 0, "injector must have fired");
     }
 
     #[test]

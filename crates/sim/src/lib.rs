@@ -40,18 +40,24 @@
 //! assert!(r.cycles > 0);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod array;
 pub mod chip;
 pub mod conv;
+pub mod error;
 pub mod gemm;
 pub mod seq;
 pub mod sfu;
 pub mod token;
+pub mod watchdog;
 
 pub use array::{ArrayJob, Datapath, MpeArray, TOKEN_BLOCK_FREE};
-pub use chip::{run_chip_gemm, ChipGemmJob, ChipSimResult};
-pub use conv::{run_conv, ConvJob, ConvSimResult};
+pub use chip::{run_chip_gemm, try_run_chip_gemm, try_run_chip_gemm_with, ChipGemmJob, ChipSimResult};
+pub use conv::{run_conv, try_run_conv, ConvJob, ConvSimResult};
+pub use error::{SeqSnapshot, SimError};
 pub use gemm::{CoreSim, CoreletReport, GemmJob, SimResult};
 pub use sfu::{SfuStage, SfuUnit};
 pub use seq::{Link, Scratchpad, Sequencer};
 pub use token::TokenFile;
+pub use watchdog::{run_token_programs, Watchdog, DEFAULT_WATCHDOG_WINDOW};

@@ -133,6 +133,38 @@ impl Sequencer {
         self.pc >= self.program.len()
     }
 
+    /// Current program counter.
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Total program length.
+    pub fn program_len(&self) -> usize {
+        self.program.len()
+    }
+
+    /// The `(token, count)` this sequencer is blocked on, when its current
+    /// instruction is a `WaitToken` (the watchdog uses this to name the
+    /// blocking token in deadlock reports).
+    pub fn waiting_on(&self) -> Option<(u8, u16)> {
+        match self.program.get(self.pc) {
+            Some(SeqInstr::WaitToken { token, count }) => Some((*token, *count)),
+            _ => None,
+        }
+    }
+
+    /// Dumps this sequencer's state for a deadlock report.
+    pub fn snapshot(&self, name: String) -> crate::error::SeqSnapshot {
+        crate::error::SeqSnapshot {
+            name,
+            pc: self.pc,
+            program_len: self.program.len(),
+            waiting_on: self.waiting_on(),
+            elems_moved: self.elems_moved,
+            stall_cycles: self.stall_cycles,
+        }
+    }
+
     /// Runs one cycle: advances through control instructions (loops,
     /// tokens are free), then streams elements of the current `Read` into
     /// `link`, limited by the link's space and the shared L1 port budget
@@ -248,6 +280,7 @@ impl Sequencer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

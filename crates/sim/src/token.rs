@@ -43,9 +43,16 @@ impl TokenFile {
     pub fn value(&self, t: u8) -> u32 {
         self.counters[t as usize]
     }
+
+    /// All `(token, value)` pairs — attached to deadlock reports so the
+    /// hung system's synchronization state is visible.
+    pub fn snapshot(&self) -> Vec<(u8, u32)> {
+        self.counters.iter().enumerate().map(|(t, &v)| (t as u8, v)).collect()
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

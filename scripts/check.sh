@@ -12,4 +12,7 @@ cargo test --workspace -q
 echo "== cargo clippy --workspace --all-targets -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== fault_sweep --smoke (hard 120s timeout) =="
+timeout 120 ./target/release/fault_sweep --smoke
+
 echo "All checks passed."
