@@ -2,84 +2,29 @@
 //! corruption the HFP8 training recipe absorbs, and how much delivered ring
 //! bandwidth survives drop/delay faults. Two sweeps:
 //!
-//! 1. **MAC bit-flips vs convergence** — a `FaultyHfp8Backend` splices a
-//!    seeded [`FaultPlan`] into every training GEMM; injected non-finite
-//!    accumulators are saturated (`GuardPolicy::Saturate`) so the run
-//!    continues through the hit, and final accuracy tells us whether SGD
-//!    rode it out.
+//! 1. **MAC bit-flips vs convergence** — a [`GuardedHfp8Backend`] (the
+//!    same backend the recovery loop drives) splices a seeded fault plan
+//!    into every training GEMM; injected non-finite accumulators are
+//!    saturated (`GuardPolicy::Saturate`) so the run continues through
+//!    the hit, `guard_clamps` counts the damage, and final accuracy tells
+//!    us whether SGD rode it out.
 //! 2. **Ring faults vs bandwidth** — the same multicast used by E11, with
 //!    flits dropped (source retransmits) and slots held; delivered
 //!    B/cycle degrades but every byte still arrives.
 //!
 //! Usage: `fault_sweep [--smoke] [--seed N]`. The seed also honours the
-//! `RAPID_FAULT_SEED` environment variable (`--seed` wins).
+//! `RAPID_FAULT_SEED` environment variable (`--seed` wins); each sweep
+//! cell derives its own child stream from it, so adding or removing a
+//! rate never perturbs the other cells.
 
 use rapid_bench::{compare, section, try_par_map};
-use rapid_fault::{FaultConfig, FaultCounts, FaultPlan};
-use rapid_numerics::fma::FmaMode;
-use rapid_numerics::gemm::matmul_emulated_guarded;
-use rapid_numerics::{GuardPolicy, NumericsError, Tensor};
-use rapid_refnet::backend::{Backend, Fp32Backend, OperandRole};
+use rapid_fault::{derive_seed, FaultConfig, FaultPlan};
+use rapid_numerics::GuardPolicy;
+use rapid_recover::GuardedHfp8Backend;
+use rapid_refnet::backend::Fp32Backend;
 use rapid_refnet::data::gaussian_blobs;
 use rapid_refnet::mlp::{train, Mlp, TrainConfig};
 use rapid_ring::sim::{multicast, RingSim};
-use std::cell::RefCell;
-
-/// HFP8 backend with a seeded fault plan spliced into every GEMM. The
-/// `Backend` trait takes `&self`, so the plan (which must mutate its RNG
-/// and trace) lives in a `RefCell`; training is single-threaded per
-/// backend instance.
-struct FaultyHfp8Backend {
-    chunk_len: usize,
-    plan: RefCell<FaultPlan>,
-}
-
-impl FaultyHfp8Backend {
-    fn new(cfg: FaultConfig) -> Self {
-        Self { chunk_len: 64, plan: RefCell::new(FaultPlan::new(cfg)) }
-    }
-
-    fn counts(&self) -> FaultCounts {
-        self.plan.borrow().counts()
-    }
-
-    fn guarded(&self, mode: FmaMode, a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
-        let mut plan = self.plan.borrow_mut();
-        matmul_emulated_guarded(mode, a, b, self.chunk_len, GuardPolicy::Saturate, Some(&mut plan))
-            .map(|(c, _)| c)
-    }
-}
-
-impl Backend for FaultyHfp8Backend {
-    fn try_matmul(
-        &self,
-        a: &Tensor,
-        b: &Tensor,
-        roles: (OperandRole, OperandRole),
-    ) -> Result<Tensor, NumericsError> {
-        use OperandRole::{Data, Error};
-        match roles {
-            (Data, Data) => self.guarded(FmaMode::hfp8_fwd_default(), a, b),
-            (Data, Error) | (Error, Error) => self.guarded(FmaMode::hfp8_bwd_default(), a, b),
-            // Same transpose identity as the clean Hfp8Backend: the
-            // pipeline takes (1,4,3) on port A, so C = A×B = (BᵀAᵀ)ᵀ.
-            (Error, Data) => {
-                if a.shape().len() != 2 || b.shape().len() != 2 {
-                    return Err(NumericsError::ShapeMismatch {
-                        expected: "rank-2 operands".to_string(),
-                        actual: format!("a {:?} × b {:?}", a.shape(), b.shape()),
-                    });
-                }
-                self.guarded(FmaMode::hfp8_bwd_default(), &b.transposed(), &a.transposed())
-                    .map(|c| c.transposed())
-            }
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        "hfp8+faults"
-    }
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut smoke = false;
@@ -113,29 +58,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if smoke { &[0.0, 1e-3] } else { &[0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2] };
     section("sweep 1 — MAC accumulator/operand bit-flip rate vs HFP8 convergence");
     println!(
-        "{:<12} {:>10} {:>12} {:>12} {:>12}",
-        "flip rate", "accuracy", "acc flips", "opd flips", "vs FP32"
+        "{:<12} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "flip rate", "accuracy", "acc flips", "opd flips", "clamps", "vs FP32"
     );
-    // Independent training runs: fan out over the worker pool.
+    // Independent training runs: fan out over the worker pool. Each cell
+    // gets its own derived seed so its fault stream is self-contained.
     let rows = try_par_map(rates, |&rate| {
-        let backend = FaultyHfp8Backend::new(FaultConfig {
-            seed,
-            mac_acc_rate: rate,
-            mac_operand_rate: rate / 4.0,
-            ..FaultConfig::default()
-        });
+        let backend = GuardedHfp8Backend::new(
+            FaultConfig {
+                seed: derive_seed(seed, &format!("fault_sweep/rate-{rate:e}")),
+                mac_acc_rate: rate,
+                mac_operand_rate: rate / 4.0,
+                ..FaultConfig::default()
+            },
+            GuardPolicy::Saturate,
+        );
         let mut mlp = Mlp::new(&[16, 32, 4], 1);
         let acc = train(&mut mlp, &backend, &data, &cfg);
-        (acc, backend.counts())
+        (acc, backend.counts(), backend.stats().guard_clamps)
     });
     for (&rate, row) in rates.iter().zip(rows) {
         match row {
-            Ok((acc, counts)) => println!(
-                "{:<12} {:>9.1}% {:>12} {:>12} {:>11.1}%",
+            Ok((acc, counts, clamps)) => println!(
+                "{:<12} {:>9.1}% {:>12} {:>12} {:>12} {:>11.1}%",
                 format!("{rate:.0e}"),
                 acc * 100.0,
                 counts.mac_acc_flips,
                 counts.mac_operand_flips,
+                clamps,
                 (acc - acc32) * 100.0
             ),
             Err(reason) => println!("{:<12}     FAILED: {reason}", format!("{rate:.0e}")),
@@ -156,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &(drop, delay) in &[(0.0, 0.0), (0.01, 0.0), (0.0, 0.05), (0.02, 0.02), (0.05, 0.05)] {
         let mut sim = RingSim::try_new(4, 20)?;
         sim.set_fault_plan(FaultPlan::new(FaultConfig {
-            seed,
+            seed: derive_seed(seed, &format!("fault_sweep/ring-{drop}-{delay}")),
             ring_drop_rate: drop,
             ring_delay_rate: delay,
             ..FaultConfig::default()

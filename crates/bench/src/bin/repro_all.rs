@@ -5,7 +5,10 @@
 //!
 //! The experiments are independent processes, so they fan out over the
 //! harness worker pool (`RAPID_THREADS` caps it); each binary's output is
-//! captured and printed in the canonical order once it completes.
+//! captured and printed in the canonical order once it completes. Each
+//! experiment runs with `RAPID_FAULT_SEED` set to a child seed derived
+//! from the master seed and the experiment name, so fault streams are
+//! reproducible yet independent across experiments.
 //!
 //! Failures degrade gracefully: a crashing experiment (including one
 //! forced down with `RAPID_FORCE_FAIL=<bin>`) is marked FAILED in the
@@ -13,6 +16,7 @@
 //! process exits non-zero.
 
 use rapid_bench::{num_threads, try_par_map};
+use rapid_fault::{derive_seed, FaultConfig};
 use std::process::{Command, ExitCode};
 use std::time::Instant;
 
@@ -40,10 +44,17 @@ fn main() -> ExitCode {
         "batch_sweep",
         "energy_breakdown",
         "fault_sweep",
+        "recovery_sweep",
     ];
+    // Each experiment gets its own child fault seed derived from the
+    // master, so adding an experiment never perturbs another's streams.
+    let master = FaultConfig::seed_from_env(7);
     let outputs = try_par_map(&bins, |bin| {
         let path = dir.join(bin);
-        match Command::new(&path).output() {
+        match Command::new(&path)
+            .env("RAPID_FAULT_SEED", derive_seed(master, bin).to_string())
+            .output()
+        {
             Ok(out) => (out.status.success(), out.stdout, out.stderr),
             Err(e) => (false, Vec::new(), format!("failed to launch {}: {e}\n", path.display()).into_bytes()),
         }

@@ -53,6 +53,34 @@ use std::fmt;
 /// configuration is built via [`FaultConfig::seed_from_env`]).
 pub const FAULT_SEED_ENV: &str = "RAPID_FAULT_SEED";
 
+/// Derives a child seed from a master seed and an experiment label.
+///
+/// Every experiment (a sweep cell, a benchmark binary, a test case) should
+/// draw its fault plan from `derive_seed(master, "its-name")` instead of
+/// the master seed directly: the child stream depends only on the master
+/// seed and the label, so adding, removing, or reordering experiments
+/// never shifts another experiment's RNG stream — the same-seed
+/// reproducibility guarantee survives harness growth.
+///
+/// The label is folded in with FNV-1a (64-bit) and the result is mixed
+/// through a splitmix64 finalizer so labels differing in one character
+/// land far apart.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64 finalizer over master ⊕ label-hash.
+    let mut z = master ^ h;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A small xorshift64* generator: deterministic, seedable, no global
 /// state. Quality is ample for Bernoulli fault draws.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +161,12 @@ pub struct FaultConfig {
     pub seq_stall_rate: f64,
     /// How many cycles a sequencer stall lasts.
     pub seq_stall_cycles: u32,
+    /// Bitmask of permanently failed cores (bit `i` set ⇒ core `i` is
+    /// dead). A failed core takes no work: the chip-level simulators remap
+    /// its partition across the survivors and the analytical model charges
+    /// the resulting slowdown. Unlike the transient injectors this is a
+    /// *static* fault — it does not draw from any RNG stream.
+    pub core_failed_mask: u64,
     /// Cap on recorded trace events (counters keep counting past it).
     pub max_trace_events: usize,
 }
@@ -150,6 +184,7 @@ impl Default for FaultConfig {
             ring_delay_cycles: 8,
             seq_stall_rate: 0.0,
             seq_stall_cycles: 32,
+            core_failed_mask: 0,
             max_trace_events: 4096,
         }
     }
@@ -174,6 +209,17 @@ impl FaultConfig {
             || self.ring_dup_rate > 0.0
             || self.ring_delay_rate > 0.0
             || self.seq_stall_rate > 0.0
+            || self.core_failed_mask != 0
+    }
+
+    /// Whether core `i` is marked permanently failed.
+    pub fn core_failed(&self, core: usize) -> bool {
+        core < 64 && self.core_failed_mask & (1 << core) != 0
+    }
+
+    /// The failed cores among the first `n`, in ascending order.
+    pub fn failed_cores(&self, n: usize) -> Vec<usize> {
+        (0..n.min(64)).filter(|&i| self.core_failed(i)).collect()
     }
 }
 
@@ -309,6 +355,16 @@ impl FaultPlan {
     /// Whether the sequencer-stall injector can fire.
     pub fn seq_enabled(&self) -> bool {
         self.cfg.seq_stall_rate > 0.0
+    }
+
+    /// Whether core `i` is marked permanently failed by this plan.
+    pub fn core_failed(&self, core: usize) -> bool {
+        self.cfg.core_failed(core)
+    }
+
+    /// The failed cores among the first `n`, in ascending order.
+    pub fn failed_cores(&self, n: usize) -> Vec<usize> {
+        self.cfg.failed_cores(n)
     }
 
     /// Recorded events, in draw order (capped at
@@ -552,6 +608,30 @@ mod tests {
         }
         assert_eq!(plan.trace().len(), 16);
         assert_eq!(plan.counts().mac_operand_flips, 100);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_label_sensitive() {
+        // Same (master, label) → same child; any change → a far-apart child.
+        assert_eq!(derive_seed(7, "fault_sweep"), derive_seed(7, "fault_sweep"));
+        assert_ne!(derive_seed(7, "fault_sweep"), derive_seed(7, "fault_sweeq"));
+        assert_ne!(derive_seed(7, "fault_sweep"), derive_seed(8, "fault_sweep"));
+        // Child streams must be decoupled: two labels' first draws differ.
+        let a = XorShift64::new(derive_seed(1, "a")).next_u64();
+        let b = XorShift64::new(derive_seed(1, "b")).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failed_core_mask_is_static_and_reported() {
+        let cfg = FaultConfig { core_failed_mask: 0b0101, ..FaultConfig::default() };
+        assert!(cfg.enabled(), "a dead core counts as a fault");
+        let plan = FaultPlan::new(cfg);
+        assert!(plan.core_failed(0));
+        assert!(!plan.core_failed(1));
+        assert_eq!(plan.failed_cores(4), vec![0, 2]);
+        assert_eq!(plan.failed_cores(2), vec![0]);
+        assert!(!FaultPlan::disabled().core_failed(0));
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub mod training;
 pub use cost::{CycleBreakdown, EnergyLedger, ModelConfig};
 pub use inference::{evaluate_inference, InferenceResult};
 pub use report::{layer_reports, LayerReport};
-pub use scaling::{inference_core_scaling, training_chip_scaling, ScalePoint};
+pub use scaling::{
+    degraded_throughput, inference_core_scaling, training_chip_scaling, DegradedPoint, ScalePoint,
+};
 pub use throttle::{throttling_study, ThrottleStudy};
 pub use training::{evaluate_training, TrainingResult};

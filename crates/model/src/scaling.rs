@@ -40,6 +40,54 @@ pub fn inference_core_scaling(net: &Network, counts: &[u32], cfg: &ModelConfig) 
     points
 }
 
+/// One point of a degraded-core sweep: the chip running on `survivors` of
+/// its cores after failures, relative to the healthy configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradedPoint {
+    /// Cores still alive.
+    pub survivors: u32,
+    /// Batch-1 inference latency on the survivors, seconds.
+    pub latency_s: f64,
+    /// Latency relative to the healthy chip (≥ 1.0; 1.0 = no slowdown).
+    pub slowdown: f64,
+    /// Absolute throughput on the survivors (inputs/s).
+    pub throughput: f64,
+}
+
+/// Throughput of a chip that lost cores: the work of the failed cores is
+/// remapped across the `survivors`, so the degraded chip is modeled as the
+/// same chip with fewer cores — external memory bandwidth unchanged (the
+/// memory interface is not on a core) — and the slowdown is the healthy
+/// latency divided into the survivor latency.
+///
+/// Returns the healthy point followed by one point per failure, down to
+/// `survivors_floor` cores (e.g. `healthy = 4, floor = 3` gives the
+/// 4-core → 3-core inference latency curve the recovery layer reports).
+pub fn degraded_throughput(
+    net: &Network,
+    healthy_cores: u32,
+    survivors_floor: u32,
+    precision: Precision,
+    cfg: &ModelConfig,
+) -> Vec<DegradedPoint> {
+    let floor = survivors_floor.clamp(1, healthy_cores);
+    let mut points = Vec::with_capacity((healthy_cores - floor + 1) as usize);
+    let mut healthy_latency = None;
+    for survivors in (floor..=healthy_cores).rev() {
+        let chip = ChipConfig::rapid_4core().with_cores(survivors);
+        let plan = compile(net, &chip, &CompileOptions::for_precision(precision));
+        let r = evaluate_inference(net, &plan, &chip, 1, cfg);
+        let base = *healthy_latency.get_or_insert(r.latency_s);
+        points.push(DegradedPoint {
+            survivors,
+            latency_s: r.latency_s,
+            slowdown: r.latency_s / base,
+            throughput: r.throughput_per_s,
+        });
+    }
+    points
+}
+
 /// Fig 18(b): HFP8 training speedup as the chip count scales at a fixed
 /// global minibatch and fixed 128 GBps chip-to-chip bandwidth.
 pub fn training_chip_scaling(
@@ -111,6 +159,22 @@ mod tests {
         for w in pts.windows(2) {
             assert!(w[1].speedup >= w[0].speedup * 0.95, "{:?}", pts);
         }
+    }
+
+    #[test]
+    fn losing_a_core_costs_latency_but_bounded() {
+        // The recovery layer's 4-core → 3-core curve: a single failed core
+        // slows batch-1 inference, but by less than the naive 4/3 compute
+        // ratio would suggest once memory/aux time is counted.
+        let net = benchmark("resnet50").unwrap();
+        let pts = degraded_throughput(&net, 4, 3, Precision::Int4, &ModelConfig::default());
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].survivors, 4);
+        assert_eq!(pts[0].slowdown, 1.0);
+        assert_eq!(pts[1].survivors, 3);
+        assert!(pts[1].slowdown > 1.0, "3-core slowdown {}", pts[1].slowdown);
+        assert!(pts[1].slowdown < 4.0 / 3.0 + 0.05, "slowdown {}", pts[1].slowdown);
+        assert!(pts[1].throughput < pts[0].throughput);
     }
 
     #[test]

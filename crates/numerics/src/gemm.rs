@@ -40,6 +40,11 @@ pub struct GemmStats {
     /// INT16 chunk-register saturations (integer modes only; zero for
     /// hardware-legal chunk lengths).
     pub saturations: u64,
+    /// Accumulators clamped by [`GuardPolicy::Saturate`]: corrupted chunk
+    /// values (non-finite floats, out-of-bound integer chunks) replaced at
+    /// the guard stage instead of propagating. Zero under every other
+    /// policy — the count is how much bounded damage training absorbed.
+    pub guard_clamps: u64,
 }
 
 impl GemmStats {
@@ -57,6 +62,7 @@ impl GemmStats {
         self.macs += other.macs;
         self.zero_gated += other.zero_gated;
         self.saturations += other.saturations;
+        self.guard_clamps += other.guard_clamps;
     }
 }
 
@@ -368,7 +374,7 @@ fn lut_band(
             j += 1;
         }
     }
-    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0 }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0, guard_clamps: 0 }
 }
 
 /// Chunk-accumulated dot products of one A-row of codes against `B`
@@ -459,7 +465,7 @@ fn fp16_band(
             j += 1;
         }
     }
-    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0 }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0, guard_clamps: 0 }
 }
 
 /// FP16-mode analogue of [`dot_lut_block`]: products of two FP16 lattice
@@ -598,7 +604,10 @@ pub fn matmul_emulated_guarded(
                 acc.corrupt_chunk(|v| plan.mac_accumulator(v));
                 if policy.checks() && !acc.chunk_value().is_finite() {
                     match policy {
-                        GuardPolicy::Saturate => acc.corrupt_chunk(saturate_f32),
+                        GuardPolicy::Saturate => {
+                            stats.guard_clamps += 1;
+                            acc.corrupt_chunk(saturate_f32);
+                        }
                         _ => {
                             return Err(NumericsError::NonFinite {
                                 row: i,
@@ -614,7 +623,10 @@ pub fn matmul_emulated_guarded(
             let mut v = acc.finish();
             if policy.checks() && !v.is_finite() {
                 match policy {
-                    GuardPolicy::Saturate => v = saturate_f32(v),
+                    GuardPolicy::Saturate => {
+                        stats.guard_clamps += 1;
+                        v = saturate_f32(v);
+                    }
                     _ => {
                         return Err(NumericsError::NonFinite {
                             row: i,
@@ -803,7 +815,8 @@ pub fn matmul_int_guarded(
                     if breached {
                         match policy {
                             GuardPolicy::Saturate => {
-                                acc.corrupt_chunk(|v| v.clamp(-bound, bound))
+                                stats.guard_clamps += 1;
+                                acc.corrupt_chunk(|v| v.clamp(-bound, bound));
                             }
                             _ => {
                                 return Err(NumericsError::Overflow {
@@ -945,7 +958,7 @@ fn int_band(
             *o = dot as f32 * out_scale;
         }
     }
-    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0 }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0, guard_clamps: 0 }
 }
 
 /// Chunk-windowed integer dot product over decoded codes: i32 sums per
@@ -1547,6 +1560,48 @@ mod tests {
         .unwrap();
         assert!(out.as_slice().iter().all(|v| v.is_finite()));
         assert!(plan.counts().mac_operand_flips + plan.counts().mac_acc_flips > 0);
+    }
+
+    #[test]
+    fn saturate_policy_counts_every_clamp() {
+        // Whatever the Error policy would abort on, Saturate must clamp —
+        // and report. Replay the same fault stream under both policies.
+        use rapid_fault::{FaultConfig, FaultPlan};
+        let a = rand_mat(4, 256, 72);
+        let b = rand_mat(256, 4, 73);
+        let mut total_clamps = 0u64;
+        for seed in 0..8 {
+            let cfg = FaultConfig {
+                seed,
+                mac_acc_rate: 0.02,
+                exponent_share: 1.0,
+                ..FaultConfig::default()
+            };
+            let errored = matmul_emulated_guarded(
+                FmaMode::Fp16,
+                &a,
+                &b,
+                64,
+                GuardPolicy::Error,
+                Some(&mut FaultPlan::new(cfg)),
+            )
+            .is_err();
+            let (out, stats) = matmul_emulated_guarded(
+                FmaMode::Fp16,
+                &a,
+                &b,
+                64,
+                GuardPolicy::Saturate,
+                Some(&mut FaultPlan::new(cfg)),
+            )
+            .unwrap();
+            assert!(out.as_slice().iter().all(|v| v.is_finite()));
+            if errored {
+                assert!(stats.guard_clamps > 0, "seed {seed}: abort implies a clamp");
+            }
+            total_clamps += stats.guard_clamps;
+        }
+        assert!(total_clamps > 0, "no seed out of 8 needed a clamp");
     }
 
     #[test]

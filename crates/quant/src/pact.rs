@@ -34,6 +34,16 @@ impl Pact {
         self.alpha
     }
 
+    /// Replaces the clipping level (used by checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn set_alpha(&mut self, alpha: f32) {
+        assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+        self.alpha = alpha;
+    }
+
     /// Quantization parameters implied by the current clipping level.
     pub fn quant_params(&self) -> QuantParams {
         QuantParams::from_abs_max(self.format, Signedness::Unsigned, self.alpha)

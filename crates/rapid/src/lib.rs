@@ -19,6 +19,7 @@
 //! | [`ring`] | `rapid-ring` | bidirectional ring + MNI multicast simulator |
 //! | [`quant`] | `rapid-quant` | PACT, SaWB, magnitude pruning |
 //! | [`refnet`] | `rapid-refnet` | reference trainer demonstrating HFP8 parity and INT4/INT2 PTQ |
+//! | [`recover`] | `rapid-recover` | end-to-end recovery: checksummed checkpoints, loss-scale rollback, redundant-execution training |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use rapid_fault as fault;
 pub use rapid_model as model;
 pub use rapid_numerics as numerics;
 pub use rapid_quant as quant;
+pub use rapid_recover as recover;
 pub use rapid_refnet as refnet;
 pub use rapid_ring as ring;
 pub use rapid_sim as sim;

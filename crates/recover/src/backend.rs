@@ -1,0 +1,160 @@
+//! The HFP8 training backend with fault injection and a configurable
+//! guard policy — the backend the resilient training loops drive.
+//!
+//! Under [`GuardPolicy::Saturate`] every corrupted accumulator is clamped
+//! and counted (the run continues, `guard_clamps` reports the damage);
+//! under [`GuardPolicy::Error`] the first corruption surfaces as a
+//! [`NumericsError`] for the recovery loop to catch — skip the step, back
+//! off the loss scale, roll back if it keeps happening.
+
+use rapid_fault::{FaultConfig, FaultCounts, FaultPlan};
+use rapid_numerics::fma::FmaMode;
+use rapid_numerics::gemm::{matmul_emulated_guarded, GemmStats};
+use rapid_numerics::{GuardPolicy, NumericsError, Tensor};
+use rapid_refnet::backend::{Backend, OperandRole};
+use std::cell::RefCell;
+
+/// HFP8 backend with a seeded fault plan spliced into every GEMM and a
+/// configurable guard policy. The `Backend` trait takes `&self`, so the
+/// plan (which must mutate its RNG and trace) and the accumulated stats
+/// live in `RefCell`s; training is single-threaded per backend instance.
+#[derive(Debug)]
+pub struct GuardedHfp8Backend {
+    chunk_len: usize,
+    policy: GuardPolicy,
+    plan: RefCell<FaultPlan>,
+    stats: RefCell<GemmStats>,
+}
+
+impl GuardedHfp8Backend {
+    /// Creates a backend injecting per `cfg` and guarding per `policy`,
+    /// with the default MPE chunk length of 64.
+    pub fn new(cfg: FaultConfig, policy: GuardPolicy) -> Self {
+        Self {
+            chunk_len: 64,
+            policy,
+            plan: RefCell::new(FaultPlan::new(cfg)),
+            stats: RefCell::new(GemmStats::default()),
+        }
+    }
+
+    /// Overrides the accumulation chunk length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`.
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> Self {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        self.chunk_len = chunk_len;
+        self
+    }
+
+    /// The guard policy in force.
+    pub fn policy(&self) -> GuardPolicy {
+        self.policy
+    }
+
+    /// Injection totals so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.plan.borrow().counts()
+    }
+
+    /// GEMM statistics accumulated across every call — `guard_clamps`
+    /// counts the accumulators [`GuardPolicy::Saturate`] clamped.
+    pub fn stats(&self) -> GemmStats {
+        *self.stats.borrow()
+    }
+
+    fn guarded(&self, mode: FmaMode, a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
+        let mut plan = self.plan.borrow_mut();
+        let (c, stats) =
+            matmul_emulated_guarded(mode, a, b, self.chunk_len, self.policy, Some(&mut plan))?;
+        self.stats.borrow_mut().merge(stats);
+        Ok(c)
+    }
+}
+
+impl Backend for GuardedHfp8Backend {
+    fn try_matmul(
+        &self,
+        a: &Tensor,
+        b: &Tensor,
+        roles: (OperandRole, OperandRole),
+    ) -> Result<Tensor, NumericsError> {
+        use OperandRole::{Data, Error};
+        match roles {
+            (Data, Data) => self.guarded(FmaMode::hfp8_fwd_default(), a, b),
+            (Data, Error) | (Error, Error) => self.guarded(FmaMode::hfp8_bwd_default(), a, b),
+            // Same transpose identity as the clean Hfp8Backend: the
+            // pipeline takes (1,4,3) on port A, so C = A×B = (BᵀAᵀ)ᵀ.
+            (Error, Data) => {
+                if a.shape().len() != 2 || b.shape().len() != 2 {
+                    return Err(NumericsError::ShapeMismatch {
+                        expected: "rank-2 operands".to_string(),
+                        actual: format!("a {:?} × b {:?}", a.shape(), b.shape()),
+                    });
+                }
+                self.guarded(FmaMode::hfp8_bwd_default(), &b.transposed(), &a.transposed())
+                    .map(|c| c.transposed())
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hfp8+guarded"
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use rapid_numerics::gemm::matmul_f32;
+
+    fn mats() -> (Tensor, Tensor) {
+        (
+            Tensor::random_uniform(vec![4, 8], -1.0, 1.0, 31),
+            Tensor::random_uniform(vec![8, 4], -1.0, 1.0, 32),
+        )
+    }
+
+    #[test]
+    fn clean_plan_tracks_reference() {
+        let (a, b) = mats();
+        let be = GuardedHfp8Backend::new(FaultConfig::default(), GuardPolicy::Error);
+        let exact = matmul_f32(&a, &b);
+        for roles in [
+            (OperandRole::Data, OperandRole::Data),
+            (OperandRole::Data, OperandRole::Error),
+            (OperandRole::Error, OperandRole::Data),
+        ] {
+            let r = be.try_matmul(&a, &b, roles).unwrap();
+            assert!(r.max_rel_diff(&exact) < 0.15, "{roles:?}");
+        }
+        assert!(be.stats().macs > 0);
+        assert_eq!(be.stats().guard_clamps, 0);
+    }
+
+    #[test]
+    fn error_policy_eventually_trips_and_saturate_counts() {
+        let (a, b) = mats();
+        let cfg = FaultConfig { seed: 9, mac_acc_rate: 0.05, ..FaultConfig::default() };
+        let error_be = GuardedHfp8Backend::new(cfg, GuardPolicy::Error);
+        let sat_be = GuardedHfp8Backend::new(cfg, GuardPolicy::Saturate);
+        let mut tripped = false;
+        for _ in 0..32 {
+            let r = error_be.try_matmul(&a, &b, (OperandRole::Data, OperandRole::Data));
+            let _ = sat_be.try_matmul(&a, &b, (OperandRole::Data, OperandRole::Data)).unwrap();
+            if matches!(r, Err(NumericsError::NonFinite { .. })) {
+                tripped = true;
+            }
+        }
+        assert!(tripped, "5% accumulator flips should trip the Error guard");
+        assert!(
+            sat_be.stats().guard_clamps > 0,
+            "Saturate must count what it clamps: {:?}",
+            sat_be.stats()
+        );
+        assert!(sat_be.counts().mac_acc_flips > 0);
+    }
+}

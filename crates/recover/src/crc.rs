@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`), the checksum guarding
+//! checkpoint payloads. Table-driven, byte at a time — checkpoints are a
+//! few hundred kilobytes at most, so simplicity beats throughput here.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `data` (initial value all-ones, final XOR all-ones — the
+/// conventional parameters shared by zlib, PNG and Ethernet).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let mut data = vec![0x5Au8; 1024];
+        let clean = crc32(&data);
+        for (byte, bit) in [(0usize, 0u8), (511, 3), (1023, 7)] {
+            data[byte] ^= 1 << bit;
+            assert_ne!(crc32(&data), clean, "flip at byte {byte} bit {bit} undetected");
+            data[byte] ^= 1 << bit;
+        }
+        assert_eq!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,146 @@
+//! Dynamic loss scaling for the HFP8 error path.
+//!
+//! The FP8 (1,5,2) error format underflows small gradients; multiplying
+//! the loss gradient by a scale `S` (and dividing the weight update by
+//! `S`) keeps them representable. Too large an `S` overflows instead, so
+//! the scale adapts: it backs off multiplicatively whenever a step trips a
+//! numerics guard and grows again after a window of clean steps — the
+//! standard mixed-precision recipe, driven here by the guards the fault
+//! injectors exercise.
+
+/// Adaptive loss scale with grow/backoff dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicLossScaler {
+    scale: f32,
+    growth: f32,
+    backoff: f32,
+    growth_interval: u32,
+    good_steps: u32,
+    min_scale: f32,
+    max_scale: f32,
+}
+
+impl Default for DynamicLossScaler {
+    /// Defaults sized for the reference trainer's small models: start at
+    /// `2^8`, double after 64 clean steps, halve on every failure, stay
+    /// within `[1, 2^16]`.
+    fn default() -> Self {
+        Self::new(256.0)
+    }
+}
+
+impl DynamicLossScaler {
+    /// Creates a scaler starting at `initial_scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_scale` is not positive and finite.
+    pub fn new(initial_scale: f32) -> Self {
+        assert!(
+            initial_scale.is_finite() && initial_scale > 0.0,
+            "loss scale must be positive"
+        );
+        Self {
+            scale: initial_scale,
+            growth: 2.0,
+            backoff: 0.5,
+            growth_interval: 64,
+            good_steps: 0,
+            min_scale: 1.0,
+            max_scale: 65_536.0,
+        }
+    }
+
+    /// The current scale to multiply into the loss gradient.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Clean steps since the last scale change.
+    pub fn good_steps(&self) -> u32 {
+        self.good_steps
+    }
+
+    /// Records a successful step; grows the scale after
+    /// `growth_interval` consecutive clean steps.
+    pub fn on_success(&mut self) {
+        self.good_steps += 1;
+        if self.good_steps >= self.growth_interval {
+            self.scale = (self.scale * self.growth).min(self.max_scale);
+            self.good_steps = 0;
+        }
+    }
+
+    /// Records an overflow/non-finite step: the scale backs off
+    /// immediately and the growth window restarts.
+    pub fn on_overflow(&mut self) {
+        self.scale = (self.scale * self.backoff).max(self.min_scale);
+        self.good_steps = 0;
+    }
+
+    /// Serializable state: `(scale, good_steps)`.
+    pub fn state(&self) -> (f32, u32) {
+        (self.scale, self.good_steps)
+    }
+
+    /// Restores state captured by [`DynamicLossScaler::state`] —
+    /// non-finite or non-positive scales are clamped into the valid range
+    /// rather than trusted (the checkpoint checksum already vouches for
+    /// integrity; this guards against semantic drift between versions).
+    pub fn restore(&mut self, scale: f32, good_steps: u32) {
+        self.scale = if scale.is_finite() && scale > 0.0 {
+            scale.clamp(self.min_scale, self.max_scale)
+        } else {
+            self.min_scale
+        };
+        self.good_steps = good_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_after_clean_window_and_backs_off_on_overflow() {
+        let mut s = DynamicLossScaler::new(256.0);
+        for _ in 0..64 {
+            s.on_success();
+        }
+        assert_eq!(s.scale(), 512.0);
+        s.on_overflow();
+        assert_eq!(s.scale(), 256.0);
+        assert_eq!(s.good_steps(), 0);
+    }
+
+    #[test]
+    fn scale_stays_bounded() {
+        let mut s = DynamicLossScaler::new(1.5);
+        for _ in 0..100 {
+            s.on_overflow();
+        }
+        assert_eq!(s.scale(), 1.0, "floor holds");
+        for _ in 0..64 * 40 {
+            s.on_success();
+        }
+        assert_eq!(s.scale(), 65_536.0, "ceiling holds");
+    }
+
+    #[test]
+    fn state_round_trips_and_sanitizes() {
+        let mut s = DynamicLossScaler::new(256.0);
+        s.on_success();
+        let (scale, good) = s.state();
+        let mut t = DynamicLossScaler::default();
+        t.restore(scale, good);
+        assert_eq!(t.state(), (256.0, 1));
+        t.restore(f32::NAN, 3);
+        assert_eq!(t.scale(), 1.0, "corrupt scale clamps to floor");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss scale must be positive")]
+    fn rejects_nonpositive_initial_scale() {
+        let _ = DynamicLossScaler::new(0.0);
+    }
+}

@@ -5,7 +5,7 @@
 use crate::backend::{Backend, OperandRole};
 use crate::data::Dataset;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use rapid_numerics::Tensor;
+use rapid_numerics::{NumericsError, Tensor};
 
 /// One dense layer's parameters and cached forward state.
 #[derive(Debug, Clone)]
@@ -89,14 +89,53 @@ impl Mlp {
         self.layers[layer].w = w;
     }
 
+    /// Immutable access to a layer's bias vector.
+    pub fn biases(&self, layer: usize) -> &[f32] {
+        &self.layers[layer].b
+    }
+
+    /// Replaces a layer's biases (used by checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs.
+    pub fn set_biases(&mut self, layer: usize, b: Vec<f32>) {
+        assert_eq!(self.layers[layer].b.len(), b.len(), "bias length mismatch");
+        self.layers[layer].b = b;
+    }
+
     /// Forward pass producing logits `[n, classes]`; caches activations
     /// for a subsequent backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a backend GEMM fails; use [`Mlp::try_forward`] to surface
+    /// numerics errors (guard trips, shape mismatches) instead.
     pub fn forward(&mut self, backend: &dyn Backend, x: &Tensor) -> Tensor {
+        #[allow(clippy::expect_used)]
+        self.try_forward(backend, x).expect("forward GEMM failed")
+    }
+
+    /// [`Mlp::forward`], surfacing backend GEMM failures — a guarded
+    /// backend under fault injection returns
+    /// [`NumericsError::NonFinite`](rapid_numerics::NumericsError) here
+    /// instead of panicking, which is what the recovery layer's
+    /// skip/backoff loop catches. A failed forward leaves the parameters
+    /// untouched (only the activation caches may be partially updated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing GEMM's [`NumericsError`].
+    pub fn try_forward(
+        &mut self,
+        backend: &dyn Backend,
+        x: &Tensor,
+    ) -> Result<Tensor, NumericsError> {
         let depth = self.layers.len();
         let mut cur = x.clone();
         for (i, layer) in self.layers.iter_mut().enumerate() {
             layer.input = cur.clone();
-            let mut z = backend.matmul(&cur, &layer.w, (OperandRole::Data, OperandRole::Data));
+            let mut z = backend.try_matmul(&cur, &layer.w, (OperandRole::Data, OperandRole::Data))?;
             let out = z.shape()[1];
             for r in 0..z.shape()[0] {
                 for c in 0..out {
@@ -107,7 +146,7 @@ impl Mlp {
             layer.pre_act = z.clone();
             cur = if i + 1 < depth { z.map(|v| v.max(0.0)) } else { z };
         }
-        cur
+        Ok(cur)
     }
 
     /// Forward pass without caching (inference).
@@ -130,7 +169,32 @@ impl Mlp {
 
     /// Backward pass from the loss gradient w.r.t. the logits; applies SGD
     /// immediately (FP32 master weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a backend GEMM fails; use [`Mlp::try_backward_sgd`] to
+    /// surface numerics errors instead.
     pub fn backward_sgd(&mut self, backend: &dyn Backend, grad_logits: &Tensor, lr: f32) {
+        #[allow(clippy::expect_used)]
+        self.try_backward_sgd(backend, grad_logits, lr).expect("backward GEMM failed")
+    }
+
+    /// [`Mlp::backward_sgd`], surfacing backend GEMM failures.
+    ///
+    /// Updates are applied layer by layer as the error propagates, so a
+    /// mid-backward failure leaves the model **partially updated** —
+    /// callers that need step atomicity (the recovery layer) snapshot the
+    /// parameters before the step and restore on `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing GEMM's [`NumericsError`].
+    pub fn try_backward_sgd(
+        &mut self,
+        backend: &dyn Backend,
+        grad_logits: &Tensor,
+        lr: f32,
+    ) -> Result<(), NumericsError> {
         let mut grad = grad_logits.clone();
         for i in (0..self.layers.len()).rev() {
             let is_output = i + 1 == self.layers.len();
@@ -147,12 +211,12 @@ impl Mlp {
             }
             // dW = Xᵀ (Data) × dY (Error); dX = dY (Error) × Wᵀ (Data).
             let xt = self.layers[i].input.transposed();
-            let dw = backend.matmul(&xt, &grad, (OperandRole::Data, OperandRole::Error));
-            let dx = backend.matmul(
+            let dw = backend.try_matmul(&xt, &grad, (OperandRole::Data, OperandRole::Error))?;
+            let dx = backend.try_matmul(
                 &grad,
                 &self.layers[i].w.transposed(),
                 (OperandRole::Error, OperandRole::Data),
-            );
+            )?;
             let n = grad.shape()[0] as f32;
             // Bias gradient (column sums) and SGD update in FP32.
             let out = self.layers[i].w.shape()[1];
@@ -166,6 +230,7 @@ impl Mlp {
             }
             grad = dx;
         }
+        Ok(())
     }
 
     /// Classification accuracy on a dataset.

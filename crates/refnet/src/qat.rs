@@ -10,7 +10,7 @@ use crate::data::Dataset;
 use crate::mlp::softmax_cross_entropy;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rapid_numerics::int::IntFormat;
-use rapid_numerics::Tensor;
+use rapid_numerics::{NumericsError, Tensor};
 use rapid_quant::pact::Pact;
 use rapid_quant::sawb::sawb_quantize;
 
@@ -74,21 +74,89 @@ impl QatMlp {
         self.pacts.iter().map(Pact::alpha).collect()
     }
 
+    /// Replaces the PACT clipping levels (used by checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count differs or any level is not positive and finite.
+    pub fn set_alphas(&mut self, alphas: &[f32]) {
+        assert_eq!(alphas.len(), self.pacts.len(), "alpha count mismatch");
+        for (p, &a) in self.pacts.iter_mut().zip(alphas) {
+            p.set_alpha(a);
+        }
+    }
+
+    /// Number of dense layers.
+    pub fn depth(&self) -> usize {
+        self.ws.len()
+    }
+
+    /// Immutable access to a layer's FP32 master weights `[in, out]`.
+    pub fn weights(&self, layer: usize) -> &Tensor {
+        &self.ws[layer]
+    }
+
+    /// Replaces a layer's master weights (used by checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs.
+    pub fn set_weights(&mut self, layer: usize, w: Tensor) {
+        assert_eq!(self.ws[layer].shape(), w.shape(), "weight shape mismatch");
+        self.ws[layer] = w;
+    }
+
+    /// Immutable access to a layer's bias vector.
+    pub fn biases(&self, layer: usize) -> &[f32] {
+        &self.bs[layer]
+    }
+
+    /// Replaces a layer's biases (used by checkpoint restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs.
+    pub fn set_biases(&mut self, layer: usize, b: Vec<f32>) {
+        assert_eq!(self.bs[layer].len(), b.len(), "bias length mismatch");
+        self.bs[layer] = b;
+    }
+
     /// The quantization format.
     pub fn format(&self) -> IntFormat {
         self.format
     }
 
     /// Quantized forward pass (what the deployed INT model computes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a GEMM fails (cannot happen with the FP32 backend and
+    /// conformable shapes).
     pub fn forward(&self, x: &Tensor) -> (Tensor, Vec<Tensor>, Vec<Tensor>) {
-        let be = Fp32Backend;
+        #[allow(clippy::expect_used)]
+        self.try_forward_with(&Fp32Backend, x).expect("QAT forward GEMM failed")
+    }
+
+    /// [`QatMlp::forward`] through an arbitrary numeric backend — the HFP8
+    /// emulated pipeline, or a guarded backend under fault injection —
+    /// surfacing GEMM failures instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing GEMM's [`NumericsError`].
+    #[allow(clippy::type_complexity)]
+    pub fn try_forward_with(
+        &self,
+        be: &dyn Backend,
+        x: &Tensor,
+    ) -> Result<(Tensor, Vec<Tensor>, Vec<Tensor>), NumericsError> {
         let depth = self.ws.len();
         let mut pre = Vec::new(); // pre-activations per layer
         let mut acts = vec![x.clone()]; // layer inputs
         let mut cur = x.clone();
         for i in 0..depth {
             let qw = sawb_quantize(&self.ws[i], self.format);
-            let mut z = be.matmul(&cur, &qw, (OperandRole::Data, OperandRole::Data));
+            let mut z = be.try_matmul(&cur, &qw, (OperandRole::Data, OperandRole::Data))?;
             for r in 0..z.shape()[0] {
                 for c in 0..self.bs[i].len() {
                     let v = z.get(&[r, c]) + self.bs[i][c];
@@ -101,7 +169,7 @@ impl QatMlp {
                 acts.push(cur.clone());
             }
         }
-        (cur, pre, acts)
+        Ok((cur, pre, acts))
     }
 
     /// Classification accuracy of the quantized forward pass.
@@ -122,48 +190,87 @@ impl QatMlp {
         correct as f64 / data.len().max(1) as f64
     }
 
-    /// One QAT step on a batch: STE through the quantizers, SGD on the
-    /// FP32 masters, PACT α updates from the clipped-region gradients.
-    fn step(&mut self, bx: &Tensor, by: &[usize], cfg: &QatConfig) {
-        let be = Fp32Backend;
-        let (logits, pre, acts) = self.forward(bx);
+    /// One QAT step on a batch — STE through the quantizers, SGD on the
+    /// FP32 masters, PACT α updates from the clipped-region gradients —
+    /// through an arbitrary backend with gradients scaled by `loss_scale`
+    /// (the update divides it back out), surfacing GEMM failures instead
+    /// of panicking.
+    ///
+    /// On `Err` the model may be **partially updated** (the backward pass
+    /// applies SGD inline per layer); resilient callers snapshot parameters
+    /// before the step and restore on failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing GEMM's [`NumericsError`].
+    pub fn try_step_with(
+        &mut self,
+        be: &dyn Backend,
+        bx: &Tensor,
+        by: &[usize],
+        cfg: &QatConfig,
+        loss_scale: f32,
+    ) -> Result<(), NumericsError> {
+        let (logits, pre, acts) = self.try_forward_with(be, bx)?;
         let (_, grad0) = softmax_cross_entropy(&logits, by);
         let n = bx.shape()[0] as f32;
-        let mut grad = grad0.map(|v| v / n);
+        let lr = cfg.lr / loss_scale;
+        let mut grad = grad0.map(|v| v * loss_scale / n);
         for i in (0..self.ws.len()).rev() {
             let is_output = i + 1 == self.ws.len();
             if !is_output {
                 // PACT backward: STE inside the clip window, α gradient
                 // from the clipped region.
                 let (dx, dalpha) = self.pacts[i].backward(&pre[i], &grad);
-                self.pacts[i].update_alpha(dalpha, cfg.alpha_lr, cfg.alpha_decay);
+                self.pacts[i].update_alpha(dalpha / loss_scale, cfg.alpha_lr, cfg.alpha_decay);
                 grad = dx;
             }
             // STE for SaWB weights: gradient w.r.t. the master equals the
             // gradient w.r.t. the quantized weights.
-            let dw = be.matmul(&acts[i].transposed(), &grad, (OperandRole::Data, OperandRole::Error));
+            let dw =
+                be.try_matmul(&acts[i].transposed(), &grad, (OperandRole::Data, OperandRole::Error))?;
             let qw = sawb_quantize(&self.ws[i], self.format);
-            let dx = be.matmul(&grad, &qw.transposed(), (OperandRole::Error, OperandRole::Data));
+            let dx =
+                be.try_matmul(&grad, &qw.transposed(), (OperandRole::Error, OperandRole::Data))?;
             for c in 0..self.bs[i].len() {
                 let db: f32 = (0..grad.shape()[0]).map(|r| grad.get(&[r, c])).sum();
-                self.bs[i][c] -= cfg.lr * db;
+                self.bs[i][c] -= lr * db;
             }
             for (wv, g) in self.ws[i].as_mut_slice().iter_mut().zip(dw.as_slice()) {
-                *wv -= cfg.lr * g;
+                *wv -= lr * g;
             }
             grad = dx;
         }
+        Ok(())
     }
 }
 
 /// Trains a QAT model; returns the final quantized training accuracy.
 pub fn train_qat(model: &mut QatMlp, data: &Dataset, cfg: &QatConfig) -> f64 {
+    train_qat_with(model, &Fp32Backend, data, cfg)
+}
+
+/// [`train_qat`] through an arbitrary numeric backend (e.g. the emulated
+/// HFP8 pipeline). GEMM failures panic here; use
+/// [`QatMlp::try_step_with`] directly (as `rapid::recover` does) when the
+/// backend can legitimately fail.
+///
+/// # Panics
+///
+/// Panics if a GEMM fails under the given backend.
+pub fn train_qat_with(
+    model: &mut QatMlp,
+    be: &dyn Backend,
+    data: &Dataset,
+    cfg: &QatConfig,
+) -> f64 {
     for _ in 0..cfg.epochs {
         let mut start = 0;
         while start < data.len() {
             let end = (start + cfg.batch).min(data.len());
             let (bx, by) = data.batch(start, end);
-            model.step(&bx, by, cfg);
+            #[allow(clippy::expect_used)]
+            model.try_step_with(be, &bx, by, cfg, 1.0).expect("QAT step GEMM failed");
             start = end;
         }
     }

@@ -40,9 +40,11 @@
 pub mod allreduce;
 pub mod channel;
 pub mod node;
+pub mod reliable;
 pub mod sim;
 
 pub use allreduce::{analytic_allreduce_cycles, simulate_allreduce, AllReduceConfig, AllReduceResult};
+pub use reliable::{reliable_allreduce, ReliableConfig, ReliableError, RingHealth};
 pub use channel::{Channel, Direction, Flit, FLIT_BYTES};
 pub use node::MniNode;
 pub use sim::{memory_read, multicast, unicast, RingError, RingSim, RingTimeout};

@@ -88,8 +88,42 @@ pub fn try_run_chip_gemm_with(
     n_cores: usize,
     ring_faults: Option<FaultPlan>,
 ) -> Result<ChipSimResult, SimError> {
+    try_run_chip_gemm_degraded(job, core_cfg, n_cores, 0, ring_faults)
+}
+
+/// [`try_run_chip_gemm_with`] on a chip with permanently failed cores:
+/// bit `i` of `failed_mask` marks core `i` dead (the mask a
+/// [`rapid_fault::FaultConfig::core_failed_mask`] carries, or one built
+/// directly). The failed cores take no work — their column partitions are
+/// remapped across the survivors — while the ring keeps its full node
+/// count (the physical interconnect is intact; a dead core's station just
+/// forwards).
+///
+/// Because every output element is an independent chunked accumulation
+/// along `k`, the remap changes only *which core* computes each column,
+/// never the value: the degraded result is bit-identical to the healthy
+/// chip's, and only `compute_cycles`/`total_cycles` pay for the loss.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] when every core is masked out; otherwise
+/// the same contract as [`try_run_chip_gemm`].
+pub fn try_run_chip_gemm_degraded(
+    job: &ChipGemmJob,
+    core_cfg: CoreConfig,
+    n_cores: usize,
+    failed_mask: u64,
+    ring_faults: Option<FaultPlan>,
+) -> Result<ChipSimResult, SimError> {
     if n_cores == 0 {
         return Err(SimError::InvalidConfig("need at least one core".to_string()));
+    }
+    let active: Vec<usize> =
+        (0..n_cores).filter(|&i| i >= 64 || failed_mask & (1 << i) == 0).collect();
+    if active.is_empty() {
+        return Err(SimError::InvalidConfig(format!(
+            "all {n_cores} cores marked failed (mask {failed_mask:#x})"
+        )));
     }
     if job.a.shape().len() != 2
         || job.b.shape().len() != 2
@@ -104,19 +138,18 @@ pub fn try_run_chip_gemm_with(
     let n = job.b.shape()[1];
 
     // --- Distribution phase on the ring -------------------------------
-    // Every core needs the whole A (multicast from memory); each core
-    // needs only its own column slice of B (unicast reads).
+    // Every surviving core needs the whole A (multicast from memory); each
+    // needs only its own remapped column slice of B (unicast reads).
     let elem_bytes = job.precision.bytes();
     let mut ring = RingSim::try_new(n_cores, 50)?;
     if let Some(plan) = ring_faults {
         ring.set_fault_plan(plan);
     }
     let a_bytes = (m * k) as f64 * elem_bytes;
-    let consumers: Vec<usize> = (0..n_cores).collect();
-    memory_read(&mut ring, 1, &consumers, a_bytes.ceil() as u32);
-    let cols_per_core = n.div_ceil(n_cores);
-    for core in 0..n_cores {
-        let cols = cols_per_core.min(n.saturating_sub(core * cols_per_core));
+    memory_read(&mut ring, 1, &active, a_bytes.ceil() as u32);
+    let cols_per_core = n.div_ceil(active.len());
+    for (slot, &core) in active.iter().enumerate() {
+        let cols = cols_per_core.min(n.saturating_sub(slot * cols_per_core));
         if cols == 0 {
             continue;
         }
@@ -125,13 +158,13 @@ pub fn try_run_chip_gemm_with(
     }
     let distribution_cycles = ring.run_until_idle(100_000_000)?;
 
-    // --- Compute phase on the cores ------------------------------------
+    // --- Compute phase on the surviving cores ---------------------------
     let sim = CoreSim::new(core_cfg);
     let mut c = Tensor::zeros(vec![m, n]);
     let mut cores = Vec::new();
     let mut compute_cycles = 0u64;
-    for core in 0..n_cores {
-        let c0 = core * cols_per_core;
+    for slot in 0..active.len() {
+        let c0 = slot * cols_per_core;
         if c0 >= n {
             break;
         }
@@ -245,6 +278,28 @@ mod tests {
             faulty.distribution_cycles,
             clean.distribution_cycles
         );
+    }
+
+    #[test]
+    fn degraded_chip_keeps_values_and_pays_cycles() {
+        let j = job(8, 128, 256, Precision::Fp16);
+        let healthy = run_chip_gemm(&j, CoreConfig::default(), 4);
+        // Core 2 dead: work remaps across cores {0, 1, 3}.
+        let degraded =
+            try_run_chip_gemm_degraded(&j, CoreConfig::default(), 4, 0b0100, None).unwrap();
+        assert_eq!(degraded.c, healthy.c, "remap must not change values");
+        assert_eq!(degraded.cores.len(), 3);
+        assert!(
+            degraded.compute_cycles > healthy.compute_cycles,
+            "3 survivors {} should be slower than 4 cores {}",
+            degraded.compute_cycles,
+            healthy.compute_cycles
+        );
+        // All cores dead is a configuration error, not a panic.
+        assert!(matches!(
+            try_run_chip_gemm_degraded(&j, CoreConfig::default(), 4, 0b1111, None),
+            Err(SimError::InvalidConfig(_))
+        ));
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod token;
 pub mod watchdog;
 
 pub use array::{ArrayJob, Datapath, MpeArray, TOKEN_BLOCK_FREE};
-pub use chip::{run_chip_gemm, try_run_chip_gemm, try_run_chip_gemm_with, ChipGemmJob, ChipSimResult};
+pub use chip::{
+    run_chip_gemm, try_run_chip_gemm, try_run_chip_gemm_degraded, try_run_chip_gemm_with,
+    ChipGemmJob, ChipSimResult,
+};
 pub use conv::{run_conv, try_run_conv, ConvJob, ConvSimResult};
 pub use error::{SeqSnapshot, SimError};
 pub use gemm::{CoreSim, CoreletReport, GemmJob, SimResult};

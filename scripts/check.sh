@@ -1,7 +1,26 @@
 #!/usr/bin/env bash
 # Full local gate: release build, tests, lints. Run from the repo root.
+#
+#   scripts/check.sh              full gate (build, tests, clippy, smokes)
+#   scripts/check.sh --recovery   recovery gate only: clippy on the recover
+#                                 crate (unwrap/expect denied) + a timed
+#                                 recovery_sweep smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+recovery_gate() {
+    echo "== cargo clippy -p rapid-recover (deny warnings; the crate denies unwrap/expect) =="
+    cargo clippy -p rapid-recover --all-targets -- -D warnings
+    echo "== recovery_sweep --smoke (hard 120s timeout) =="
+    cargo build --release -p rapid-bench --bin recovery_sweep
+    timeout 120 ./target/release/recovery_sweep --smoke
+}
+
+if [[ "${1:-}" == "--recovery" ]]; then
+    recovery_gate
+    echo "Recovery checks passed."
+    exit 0
+fi
 
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
@@ -14,5 +33,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== fault_sweep --smoke (hard 120s timeout) =="
 timeout 120 ./target/release/fault_sweep --smoke
+
+recovery_gate
 
 echo "All checks passed."
