@@ -12,7 +12,7 @@
 use rapid_arch::geometry::ChipConfig;
 use rapid_arch::power::PowerModel;
 use rapid_arch::precision::Precision;
-use rapid_bench::{mean, section};
+use rapid_bench::{mean, section, BenchRecord};
 use rapid_compiler::passes::{compile, CompileOptions};
 use rapid_model::cost::ModelConfig;
 use rapid_model::inference::evaluate_inference;
@@ -32,6 +32,7 @@ fn int4_latency(chip: &ChipConfig, name: &str) -> Result<f64, String> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = BenchRecord::new("ablations");
     section("ablation 1 — SFU array doubling (§III-B)");
     let doubled = ChipConfig::rapid_4core();
     let mut single = ChipConfig::rapid_4core();
@@ -124,5 +125,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "avg SFU-doubling gain across probed nets: {:.2}x",
         mean(&gains)
     );
+    rec.metric("sfu_doubling_gain.mean", mean(&gains));
+    rec.metric("zero_gate_residual", pm.energy.zero_gate_residual);
+    rec.finish();
     Ok(())
 }

@@ -7,13 +7,14 @@
 
 use rapid_arch::geometry::ChipConfig;
 use rapid_arch::precision::Precision;
-use rapid_bench::section;
+use rapid_bench::{section, BenchRecord};
 use rapid_compiler::passes::{compile, CompileOptions};
 use rapid_model::cost::ModelConfig;
 use rapid_model::inference::evaluate_inference;
 use rapid_workloads::suite::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = BenchRecord::new("batch_sweep");
     let chip = ChipConfig::rapid_4core();
     let cfg = ModelConfig::default();
     section("batch-size sweep — INT4 inference, per-input latency (µs)");
@@ -34,10 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print!(" {:>9.0}", t);
         }
         println!(" {:>11.2}x", per_input[0] / per_input[4]);
+        rec.metric(&format!("{name}.b1_latency_us"), per_input[0]);
+        rec.metric(&format!("{name}.b16_gain"), per_input[0] / per_input[4]);
     }
     println!("\nCNNs gain little (the weight-stationary dataflow already streams H x W at");
     println!("batch 1); the LSTM's recurrent GEMVs amortize their block-loads and weight");
     println!("re-fetches across the batch — the reason training (minibatch 512) reaches");
     println!("far higher utilization than batch-1 inference on the same layers.");
+    rec.finish();
     Ok(())
 }

@@ -5,15 +5,19 @@
 
 use rapid_arch::geometry::CoreletConfig;
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, mean, num_threads, section, try_par_map};
+use rapid_bench::{compare, mean, num_threads, section, try_par_map, BenchRecord};
 use rapid_compiler::mapping::map_layer;
 use rapid_numerics::Tensor;
+use rapid_sim::chip::{try_run_chip_gemm_telemetry, ChipGemmJob};
+use rapid_arch::geometry::CoreConfig;
 use rapid_sim::gemm::{CoreSim, GemmJob};
+use rapid_telemetry::{trace_path_from_env, Telemetry};
 use rapid_workloads::graph::Op;
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
+    let mut rec = BenchRecord::new("calibration");
     let start = Instant::now();
     section("E9 — analytical model vs cycle simulator (GEMM sweep, 1 core / 2 corelets)");
     println!(
@@ -88,11 +92,50 @@ fn main() -> ExitCode {
     );
     let max = errors.iter().cloned().fold(0.0f64, f64::max);
     compare("worst-case calibration error", format!("{:.2}%", max * 100.0), "n/a");
+    rec.metric("calibration_error.mean", mean(&errors));
+    rec.metric("calibration_error.max", max);
+
+    // With RAPID_TRACE set, rerun one GEMM on the full 4-core chip with
+    // telemetry on and export the cycle-level Chrome trace for Perfetto
+    // (per-core sequencer/array tracks + ring + SFU).
+    if let Some(trace_path) = trace_path_from_env() {
+        section("telemetry — traced 4-core chip GEMM (RAPID_TRACE)");
+        let job = ChipGemmJob {
+            a: Tensor::random_uniform(vec![32, 256], -1.0, 1.0, 900),
+            b: Tensor::random_uniform(vec![256, 256], -1.0, 1.0, 901),
+            precision: Precision::Int4,
+        };
+        let mut tele = Telemetry::from_env();
+        match try_run_chip_gemm_telemetry(&job, CoreConfig::default(), 4, 0, None, Some(&mut tele))
+        {
+            Ok(r) => {
+                println!(
+                    "chip GEMM 32x256x256 int4: {} cycles ({} distribution, {} compute)",
+                    r.total_cycles, r.distribution_cycles, r.compute_cycles
+                );
+                rec.metric("traced_chip_gemm.total_cycles", r.total_cycles as f64);
+                rec.merge_registry(&tele.registry);
+                match tele.trace.as_ref().map(|t| t.write(&trace_path)) {
+                    Some(Ok(())) => println!("trace written to {}", trace_path.display()),
+                    Some(Err(e)) => {
+                        eprintln!("error: cannot write trace {}: {e}", trace_path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    None => {}
+                }
+            }
+            Err(e) => {
+                eprintln!("traced chip GEMM failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     println!(
         "\ntotal wall-clock: {:.2}s ({} worker threads)",
         start.elapsed().as_secs_f64(),
         num_threads().min(jobs.len())
     );
+    rec.finish();
     if failures > 0 {
         eprintln!("{failures} of {} calibration points failed", jobs.len());
         return ExitCode::FAILURE;

@@ -5,13 +5,14 @@
 
 use rapid_arch::geometry::ChipConfig;
 use rapid_arch::precision::Precision;
-use rapid_bench::{infer, section, suite_map};
+use rapid_bench::{infer, section, suite_map, BenchRecord};
 use rapid_compiler::dse::mixed_precision_frontier;
 use rapid_model::cost::ModelConfig;
 use rapid_model::inference::evaluate_inference;
 use rapid_workloads::suite::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = BenchRecord::new("energy_breakdown");
     section("energy breakdown — INT4 batch-1 inference, 4-core chip (µJ/inference)");
     println!(
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} | {:>9}",
@@ -31,6 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             e.static_j * 1e6,
             e.total() * 1e6
         );
+        rec.metric(&format!("{name}.mpe_uj"), e.mpe_j * 1e6);
+        rec.metric(&format!("{name}.dram_uj"), e.dram_j * 1e6);
+        rec.metric(&format!("{name}.total_uj"), e.total() * 1e6);
     }
     println!("\nDRAM dominates the weight-heavy models (vgg16, lstm); MPE dynamic energy");
     println!("dominates the compute-dense detectors — precision scaling attacks both");
@@ -57,11 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.latency_s * 1e6,
             b / r.latency_s
         );
+        rec.metric(
+            &format!("resnet50.frontier.cov{:.0}.speedup", pt.quantized_mac_fraction * 100.0),
+            b / r.latency_s,
+        );
     }
     println!("\nlatency falls almost linearly with quantized-MAC coverage (the per-MAC");
     println!("benefit is uniform across ResNet's convolutions), so what matters is MAC");
     println!("coverage, not layer count: the accuracy-critical first/last layers hold");
     println!("few MACs, which is why the paper's rule of keeping them at FP16 costs");
     println!("almost nothing (100% of quantizable MACs still excludes those layers).");
+    rec.finish();
     Ok(())
 }

@@ -17,7 +17,7 @@
 //! cell derives its own child stream from it, so adding or removing a
 //! rate never perturbs the other cells.
 
-use rapid_bench::{compare, section, try_par_map};
+use rapid_bench::{compare, section, try_par_map, BenchRecord};
 use rapid_fault::{derive_seed, FaultConfig, FaultPlan};
 use rapid_numerics::GuardPolicy;
 use rapid_recover::GuardedHfp8Backend;
@@ -27,6 +27,7 @@ use rapid_refnet::mlp::{train, Mlp, TrainConfig};
 use rapid_ring::sim::{multicast, RingSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = BenchRecord::new("fault_sweep");
     let mut smoke = false;
     let mut seed = FaultConfig::seed_from_env(7);
     let mut args = std::env::args().skip(1);
@@ -37,11 +38,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let v = args.next().ok_or("--seed requires a value")?;
                 seed = v.parse().map_err(|_| format!("invalid --seed value '{v}'"))?;
             }
+            // Consumed by BenchRecord::write_if_requested at exit.
+            "--json" => {
+                args.next().ok_or("--json requires a path")?;
+            }
+            other if other.starts_with("--json=") => {}
             other => {
-                return Err(format!("unknown argument '{other}' (usage: fault_sweep [--smoke] [--seed N])").into())
+                return Err(format!("unknown argument '{other}' (usage: fault_sweep [--smoke] [--seed N] [--json PATH])").into())
             }
         }
     }
+    rec.config_num("seed", seed as f64);
+    rec.config_str("mode", if smoke { "smoke" } else { "full" });
 
     section(&format!(
         "fault sweep — seeded injection (seed {seed}; override with --seed or RAPID_FAULT_SEED)"
@@ -79,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     for (&rate, row) in rates.iter().zip(rows) {
         match row {
-            Ok((acc, counts, clamps)) => println!(
+            Ok((acc, counts, clamps)) => {
+                rec.metric(&format!("train.rate{rate:e}.accuracy"), acc);
+                rec.metric(&format!("train.rate{rate:e}.clamps"), clamps as f64);
+                println!(
                 "{:<12} {:>9.1}% {:>12} {:>12} {:>12} {:>11.1}%",
                 format!("{rate:.0e}"),
                 acc * 100.0,
@@ -87,7 +98,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 counts.mac_operand_flips,
                 clamps,
                 (acc - acc32) * 100.0
-            ),
+            );
+            }
             Err(reason) => println!("{:<12}     FAILED: {reason}", format!("{rate:.0e}")),
         }
     }
@@ -117,6 +129,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let bw = delivered as f64 / t as f64;
         let c = sim.take_fault_plan().map(|p| p.counts()).unwrap_or_default();
         clean_bw.get_or_insert(bw);
+        rec.metric(&format!("ring.drop{drop}.delay{delay}.bw"), bw);
+        rec.metric(&format!("ring.drop{drop}.delay{delay}.drops"), c.ring_drops as f64);
         println!(
             "{:<10} {:<10} {:>10} {:>10} {:>10} {:>12.2}",
             format!("{:.0}%", drop * 100.0),
@@ -138,5 +152,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nthe protocol degrades gracefully: lost flits are retransmitted from the");
     println!("source node and held slots drain late, so delivered bytes are invariant —");
     println!("only the completion time (and thus bandwidth) pays for the fault rate.");
+    rec.metric("train.clean_fp32_accuracy", acc32);
+    rec.finish();
     Ok(())
 }

@@ -6,9 +6,10 @@ use rapid_arch::area::ChipFloorplan;
 use rapid_arch::geometry::ChipConfig;
 use rapid_arch::power::PowerModel;
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, section};
+use rapid_bench::{compare, section, BenchRecord};
 
 fn main() {
+    let mut rec = BenchRecord::new("fig10_chip_table");
     let chip = ChipConfig::rapid_4core();
     let pm = PowerModel::rapid_7nm();
     let fp = ChipFloorplan::rapid_7nm();
@@ -51,4 +52,14 @@ fn main() {
     for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4] {
         println!("  {p}: {:.2} W", pm.peak_power_w(&chip, p, 1.0));
     }
+
+    for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4, Precision::Int2] {
+        rec.metric(&format!("{p}.peak_tops_max_freq"), chip.peak_tops(p, chip.freq_max_ghz));
+        rec.metric(
+            &format!("{p}.peak_efficiency_min_freq"),
+            pm.peak_efficiency(&chip, p, chip.freq_min_ghz),
+        );
+        rec.metric(&format!("{p}.peak_power_w"), pm.peak_power_w(&chip, p, 1.0));
+    }
+    rec.finish();
 }

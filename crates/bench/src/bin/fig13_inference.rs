@@ -2,9 +2,10 @@
 //! chip, with FP8 and INT4 speedups over the FP16-on-RaPiD baseline.
 
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, infer, mean, min_max, section, suite_map};
+use rapid_bench::{compare, infer, mean, min_max, section, suite_map, BenchRecord};
 
 fn main() {
+    let mut rec = BenchRecord::new("fig13_inference");
     section("Fig 13 — batch-1 inference, 4-core RaPiD chip, DDR 200 GB/s");
     println!(
         "{:<12} {:>11} {:>11} {:>11} {:>11} | {:>9} {:>9}",
@@ -25,6 +26,9 @@ fn main() {
         let sp4 = fp16.latency_s / int4.latency_s;
         s8.push(sp8);
         s4.push(sp4);
+        rec.metric(&format!("{name}.int4_inf_per_s"), int4.throughput_per_s);
+        rec.metric(&format!("{name}.fp8_speedup"), sp8);
+        rec.metric(&format!("{name}.int4_speedup"), sp4);
         println!(
             "{:<12} {:>11.0} {:>11.0} {:>11.0} {:>11.0} | {:>8.2}x {:>8.2}x",
             name,
@@ -49,4 +53,7 @@ fn main() {
         format!("{lo4:.2}x - {hi4:.2}x (avg {:.2}x)", mean(&s4)),
         "1.4x - 4.2x (avg 2.8x)",
     );
+    rec.metric("fp8_speedup.mean", mean(&s8));
+    rec.metric("int4_speedup.mean", mean(&s4));
+    rec.finish();
 }

@@ -4,9 +4,10 @@
 //! efficiency.
 
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, infer, mean, min_max, section, suite_map};
+use rapid_bench::{compare, infer, mean, min_max, section, suite_map, BenchRecord};
 
 fn main() {
+    let mut rec = BenchRecord::new("fig14_efficiency");
     section("Fig 14 — sustained TOPS/W, 4-core chip at nominal voltage (1.0 GHz)");
     println!(
         "{:<12} {:>10} {:>10} {:>10} | {:>9} {:>9}",
@@ -54,4 +55,13 @@ fn main() {
     );
     compare("FP8 efficiency gain vs FP16", format!("avg {:.2}x", mean(&g8)), "1.6x");
     compare("INT4 efficiency gain vs FP16", format!("avg {:.2}x", mean(&g4)), "3.6x");
+    for (name, (_, r8, r4)) in &rows {
+        rec.metric(&format!("{name}.fp8_tops_per_w"), r8.tops_per_w);
+        rec.metric(&format!("{name}.int4_tops_per_w"), r4.tops_per_w);
+    }
+    rec.metric("fp8_tops_per_w.mean", mean(&fp8));
+    rec.metric("int4_tops_per_w.mean", mean(&int4));
+    rec.metric("fp8_gain.mean", mean(&g8));
+    rec.metric("int4_gain.mean", mean(&g4));
+    rec.finish();
 }

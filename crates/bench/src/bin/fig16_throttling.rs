@@ -5,12 +5,13 @@
 
 use rapid_arch::geometry::ChipConfig;
 use rapid_arch::power::ThrottleModel;
-use rapid_bench::{compare, mean, min_max, section};
+use rapid_bench::{compare, mean, min_max, section, BenchRecord};
 use rapid_model::cost::ModelConfig;
 use rapid_model::throttle::throttling_study;
 use rapid_workloads::suite::{apply_pruning_profile, pruned_study_suite};
 
 fn main() {
+    let mut rec = BenchRecord::new("fig16_throttling");
     let t = ThrottleModel::rapid_default();
     section("Fig 16(a) — frequency-throttling rate vs weight sparsity");
     println!("{:>10} {:>15} {:>12}", "sparsity", "throttle rate", "f_eff (GHz)");
@@ -36,6 +37,8 @@ fn main() {
         let study = throttling_study(&net, &chip, &t, &cfg);
         sparsities.push(study.avg_sparsity);
         speedups.push(study.speedup());
+        rec.metric(&format!("{}.sparsity", study.network), study.avg_sparsity);
+        rec.metric(&format!("{}.speedup", study.network), study.speedup());
         println!(
             "{:<12} {:>11.0}% {:>9.2}x",
             study.network,
@@ -56,4 +59,7 @@ fn main() {
         format!("{lo:.2}x - {hi:.2}x (avg {:.2}x)", mean(&speedups)),
         "1.1x - 1.7x (avg 1.3x)",
     );
+    rec.metric("throttle_speedup.mean", mean(&speedups));
+    rec.metric("sparsity.mean", mean(&sparsities));
+    rec.finish();
 }

@@ -3,9 +3,10 @@
 //! operations.
 
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, infer, section, suite_map};
+use rapid_bench::{compare, infer, section, suite_map, BenchRecord};
 
 fn main() {
+    let mut rec = BenchRecord::new("fig17_breakdown");
     section("Fig 17 — INT4 inference compute-cycle breakdown, 4-core chip");
     println!(
         "{:<12} {:>10} {:>11} {:>10} {:>10}",
@@ -18,6 +19,10 @@ fn main() {
         for (s, v) in sums.iter_mut().zip(f) {
             *s += v;
         }
+        rec.metric(&format!("{name}.gemm_frac"), f[0]);
+        rec.metric(&format!("{name}.overhead_frac"), f[1]);
+        rec.metric(&format!("{name}.quant_frac"), f[2]);
+        rec.metric(&format!("{name}.aux_frac"), f[3]);
         println!(
             "{:<12} {:>9.0}% {:>10.0}% {:>9.0}% {:>9.0}%",
             name,
@@ -37,4 +42,9 @@ fn main() {
     println!("  - inception3/4, tiny-yolov3 and LSTMs show large Conv/GEMM overheads");
     println!("  - large-activation CNNs (vgg16, yolov3) show visible quantization cost");
     println!("  - mobile networks (mobilenetv1, tiny-yolov3) are auxiliary-heavy");
+    rec.metric("gemm_frac.mean", sums[0] / n);
+    rec.metric("overhead_frac.mean", sums[1] / n);
+    rec.metric("quant_frac.mean", sums[2] / n);
+    rec.metric("aux_frac.mean", sums[3] / n);
+    rec.finish();
 }

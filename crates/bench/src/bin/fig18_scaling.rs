@@ -2,12 +2,13 @@
 //! fixed external bandwidth, and (b) HFP8 training speedup as chips scale
 //! 1→32 at fixed minibatch and link bandwidth.
 
-use rapid_bench::section;
+use rapid_bench::{section, BenchRecord};
 use rapid_model::cost::ModelConfig;
 use rapid_model::scaling::{inference_core_scaling, training_chip_scaling};
 use rapid_workloads::suite::benchmark_suite;
 
 fn main() {
+    let mut rec = BenchRecord::new("fig18_scaling");
     let cfg = ModelConfig::default();
     let counts = [1u32, 2, 4, 8, 16, 32];
 
@@ -22,6 +23,9 @@ fn main() {
         print!("{:<12}", net.name);
         for p in &pts {
             print!(" {:>7.2}x", p.speedup);
+        }
+        if let Some(last) = pts.last() {
+            rec.metric(&format!("{}.inference_speedup_32core", net.name), last.speedup);
         }
         println!();
     }
@@ -40,8 +44,12 @@ fn main() {
         for p in &pts {
             print!(" {:>7.2}x", p.speedup);
         }
+        if let Some(last) = pts.last() {
+            rec.metric(&format!("{}.training_speedup_32chip", net.name), last.speedup);
+        }
         println!();
     }
     println!("paper: data-parallel scaling; HFP8 reduces the update-phase weight broadcast");
     println!("to 8-bit payloads, so communication-heavy models scale further than at FP16.");
+    rec.finish();
 }

@@ -5,9 +5,10 @@ use rapid_arch::area::MpeAreaModel;
 use rapid_arch::geometry::MpeConfig;
 use rapid_arch::power::EnergyTable;
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, section};
+use rapid_bench::{compare, section, BenchRecord};
 
 fn main() {
+    let mut rec = BenchRecord::new("fig4c_area_power");
     let m = MpeAreaModel::rapid();
     let e = EnergyTable::rapid_7nm();
     let mpe = MpeConfig::default();
@@ -36,4 +37,12 @@ fn main() {
     }
     println!("\nenergy/op ratio int4:fp16 = {:.2} (8x rate at ~0.85x pipeline power)",
         e.mpe_int4_op_pj / e.mpe_fp16_op_pj);
+    rec.metric("int_pipeline_area_overhead", m.total_relative_area() - 1.0);
+    rec.metric("int4_engine_power_rel", m.int4_engine_power);
+    rec.metric("doubled_int4_power_rel", m.doubled_int4_power());
+    for p in [Precision::Fp16, Precision::Hfp8, Precision::Int4, Precision::Int2] {
+        rec.metric(&format!("{p}.macs_per_cycle"), f64::from(mpe.macs_per_cycle(p)));
+        rec.metric(&format!("{p}.mpe_op_pj"), e.mpe_op_pj(p));
+    }
+    rec.finish();
 }

@@ -5,7 +5,7 @@
 //! the reference trainer.
 
 use rapid_arch::precision::Precision;
-use rapid_bench::{compare, infer, mean, min_max, section, suite_map};
+use rapid_bench::{compare, infer, mean, min_max, section, suite_map, BenchRecord};
 use rapid_numerics::int::IntFormat;
 use rapid_refnet::backend::Fp32Backend;
 use rapid_refnet::data::gaussian_blobs;
@@ -14,6 +14,7 @@ use rapid_refnet::qat::{train_qat, QatConfig, QatMlp};
 use rapid_refnet::quantized::QuantizedMlp;
 
 fn main() {
+    let mut rec = BenchRecord::new("int2_future");
     section("future work — INT2 inference performance (paper §VII)");
     println!(
         "{:<12} {:>11} {:>11} {:>10} {:>10}",
@@ -67,4 +68,10 @@ fn main() {
         format!("{:.1}% ({:+.1} pts)", qat2 * 100.0, (qat2 - acc_fp) * 100.0),
         "recovers most of the loss",
     );
+    rec.metric("int2_vs_int4_speedup.mean", mean(&vs_int4));
+    rec.metric("int2_vs_fp16_speedup.mean", mean(&vs_fp16));
+    rec.metric("fp32_acc", acc_fp);
+    rec.metric("int2_ptq_acc", ptq2);
+    rec.metric("int2_qat_acc", qat2);
+    rec.finish();
 }

@@ -2,7 +2,7 @@
 //! HFP8 training parity with FP32 (§II-B) and INT4/INT2 post-training
 //! quantization accuracy with PACT + SaWB (§II-C) — on synthetic tasks.
 
-use rapid_bench::{compare, section};
+use rapid_bench::{compare, section, BenchRecord};
 use rapid_numerics::accumulate::{dot_chunked, dot_flat_fp16};
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::int::IntFormat;
@@ -14,6 +14,7 @@ use rapid_refnet::mlp::{softmax_cross_entropy, train, Mlp, TrainConfig};
 use rapid_refnet::quantized::QuantizedMlp;
 
 fn main() {
+    let mut rec = BenchRecord::new("numerics_validation");
     section("E10.1 — chunk-based accumulation (Sakr et al. [51])");
     let n = 8192;
     let a = vec![1.0f32; n];
@@ -88,4 +89,14 @@ fn main() {
         format!("{:.1}% ({:+.1} pts)", int2 * 100.0, (int2 - acc32) * 100.0),
         "minimal loss (≈2%)",
     );
+    rec.metric("mlp.fp32_acc", acc32);
+    rec.metric("mlp.fp16_acc", acc16);
+    rec.metric("mlp.hfp8_acc", acc8);
+    rec.metric("cnn.fp32_acc", c32);
+    rec.metric("cnn.hfp8_acc", c8);
+    rec.metric("lstm.fp32_acc", l_exact);
+    rec.metric("lstm.hfp8_sfu_acc", l_hfp8);
+    rec.metric("mlp.int4_ptq_acc", int4);
+    rec.metric("mlp.int2_ptq_acc", int2);
+    rec.finish();
 }

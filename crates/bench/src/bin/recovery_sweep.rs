@@ -18,7 +18,7 @@
 //! stream, so cells are independent of sweep composition.
 
 use rapid_arch::precision::Precision;
-use rapid_bench::{section, try_par_map};
+use rapid_bench::{section, try_par_map, BenchRecord};
 use rapid_fault::{derive_seed, FaultConfig, FaultPlan};
 use rapid_model::{degraded_throughput, ModelConfig};
 use rapid_numerics::int::IntFormat;
@@ -26,10 +26,12 @@ use rapid_numerics::GuardPolicy;
 use rapid_recover::{train_qat_resilient, GuardedHfp8Backend, ResilientConfig};
 use rapid_refnet::data::gaussian_blobs;
 use rapid_refnet::qat::{train_qat, QatConfig, QatMlp};
-use rapid_ring::{reliable_allreduce, ReliableConfig};
+use rapid_ring::{reliable_allreduce_instrumented, ReliableConfig};
+use rapid_telemetry::Telemetry;
 use rapid_workloads::suite::benchmark;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = BenchRecord::new("recovery_sweep");
     let mut smoke = false;
     let mut seed = FaultConfig::seed_from_env(7);
     let mut args = std::env::args().skip(1);
@@ -40,9 +42,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let v = args.next().ok_or("--seed requires a value")?;
                 seed = v.parse().map_err(|_| format!("invalid --seed value '{v}'"))?;
             }
+            // Consumed by BenchRecord::write_if_requested at exit.
+            "--json" => {
+                args.next().ok_or("--json requires a path")?;
+            }
+            other if other.starts_with("--json=") => {}
             other => {
                 return Err(format!(
-                    "unknown argument '{other}' (usage: recovery_sweep [--smoke] [--seed N])"
+                    "unknown argument '{other}' (usage: recovery_sweep [--smoke] [--seed N] [--json PATH])"
                 )
                 .into())
             }
@@ -52,6 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     section(&format!(
         "recovery sweep — cost of surviving faults (seed {seed}; override with --seed or RAPID_FAULT_SEED)"
     ));
+    rec.config_num("seed", seed as f64);
+    rec.config_str("mode", if smoke { "smoke" } else { "full" });
 
     // ---- sweep 1: MAC flip rate vs resilient-training effort ------------
     let epochs = if smoke { 4 } else { 12 };
@@ -83,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     for (&rate, row) in rates.iter().zip(rows) {
         match row {
-            Ok(Ok((acc, r))) => println!(
+            Ok(Ok((acc, r))) => {
+                rec.metric(&format!("train.rate{rate:e}.accuracy"), acc);
+                rec.metric(&format!("train.rate{rate:e}.rollbacks"), r.rollbacks as f64);
+                println!(
                 "{:<10} {:>9} {:>9} {:>9} {:>9} {:>10.0} {:>10.1}% {:>8.1}%",
                 format!("{rate:.0e}"),
                 r.steps_applied,
@@ -93,7 +105,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 r.final_scale,
                 acc * 100.0,
                 (acc - acc_clean) * 100.0
-            ),
+            );
+            }
             Ok(Err(reason)) => {
                 println!("{:<10}   unsurvivable: {reason}", format!("{rate:.0e}"))
             }
@@ -112,7 +125,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|c| (0..elems).map(|i| ((i * 31 + c * 7919) % 997) as f32 * 0.25 - 120.0).collect())
         .collect();
     let rcfg = ReliableConfig::rapid_training(chips as u32, true);
-    let (clean_sum, clean_health) = reliable_allreduce(&inputs, &rcfg, None)?;
+    // Accumulate RingHealth counters for every exchange into one telemetry
+    // bundle; they land in the JSON record as ring.reliable.* metrics.
+    let mut tele = Telemetry::new();
+    let (clean_sum, clean_health) =
+        reliable_allreduce_instrumented(&inputs, &rcfg, None, Some(&mut tele))?;
     println!(
         "{:<8} {:<8} {:<8} {:>8} {:>10} {:>8} {:>12} {:>10}",
         "drop", "dup", "delay", "chunks", "retrans", "dups", "cycles", "retention"
@@ -127,7 +144,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ring_delay_rate: delay,
             ..FaultConfig::default()
         });
-        let (sum, health) = reliable_allreduce(&inputs, &rcfg, Some(&mut plan))?;
+        let (sum, health) =
+            reliable_allreduce_instrumented(&inputs, &rcfg, Some(&mut plan), Some(&mut tele))?;
         assert_eq!(sum, clean_sum, "reduced values must be bit-identical under faults");
         println!(
             "{:<8} {:<8} {:<8} {:>8} {:>10} {:>8} {:>12} {:>9.1}%",
@@ -140,6 +158,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             health.cycles,
             health.bandwidth_retention() * 100.0
         );
+        rec.metric(&format!("ring.drop{drop}.retention"), health.bandwidth_retention());
     }
     println!(
         "\nfault-free exchange: {} cycles; every faulty exchange reduced bit-identically",
@@ -158,6 +177,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in nets {
         let net = benchmark(name).ok_or_else(|| format!("unknown benchmark '{name}'"))?;
         for p in degraded_throughput(&net, 4, floor, Precision::Int4, &ModelConfig::default()) {
+            rec.metric(&format!("{name}.survivors{}.slowdown", p.survivors), p.slowdown);
             println!(
                 "{:<12} {:>10} {:>12.3} {:>9.2}x {:>14.0}",
                 name,
@@ -170,5 +190,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\na dead core never corrupts results: its column partition is remapped across");
     println!("the survivors, so the chip answers bit-identically and only latency pays.");
+    rec.metric("train.clean_accuracy", acc_clean);
+    rec.merge_registry(&tele.registry);
+    rec.finish();
     Ok(())
 }

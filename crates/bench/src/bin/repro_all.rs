@@ -15,8 +15,10 @@
 //! summary table, every other experiment still runs and prints, and the
 //! process exits non-zero.
 
-use rapid_bench::{num_threads, try_par_map};
+use rapid_bench::{json_path_from_args, num_threads, try_par_map};
 use rapid_fault::{derive_seed, FaultConfig};
+use rapid_telemetry::{validate_bench_record, Json, AGGREGATE_SCHEMA};
+use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 use std::time::Instant;
 
@@ -27,6 +29,11 @@ fn main() -> ExitCode {
         eprintln!("error: cannot locate the experiment binaries next to repro_all");
         return ExitCode::FAILURE;
     };
+    // Each child writes its machine-readable record here; the validated
+    // aggregate lands in BENCH_repro.json (or this binary's own --json).
+    let json_dir = dir.join("bench-json");
+    let aggregate_path =
+        json_path_from_args().unwrap_or_else(|| PathBuf::from("BENCH_repro.json"));
     let bins = [
         "fig10_chip_table",
         "fig4c_area_power",
@@ -49,10 +56,19 @@ fn main() -> ExitCode {
     // Each experiment gets its own child fault seed derived from the
     // master, so adding an experiment never perturbs another's streams.
     let master = FaultConfig::seed_from_env(7);
+    // Clear stale records from a previous run so a crashing child can
+    // never smuggle its old (successful) record into the aggregate.
+    let _ = std::fs::remove_dir_all(&json_dir);
+    if let Err(e) = std::fs::create_dir_all(&json_dir) {
+        eprintln!("error: cannot create {}: {e}", json_dir.display());
+        return ExitCode::FAILURE;
+    }
     let outputs = try_par_map(&bins, |bin| {
         let path = dir.join(bin);
         match Command::new(&path)
             .env("RAPID_FAULT_SEED", derive_seed(master, bin).to_string())
+            .arg("--json")
+            .arg(json_dir.join(format!("{bin}.json")))
             .output()
         {
             Ok(out) => (out.status.success(), out.stdout, out.stderr),
@@ -79,11 +95,40 @@ fn main() -> ExitCode {
             }
         }
     }
+    // Aggregate the per-experiment JSON records. A missing or invalid
+    // record marks its experiment failed but never aborts the aggregate.
+    let mut records = Vec::new();
+    for bin in &bins {
+        let path = json_dir.join(format!("{bin}.json"));
+        let parsed = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()))
+            .and_then(|j| validate_bench_record(&j).map(|()| j));
+        match parsed {
+            Ok(j) => records.push(j),
+            Err(e) => {
+                println!("*** {bin}: no valid JSON record ({e}) ***");
+                if !failed.contains(bin) {
+                    failed.push(bin);
+                }
+            }
+        }
+    }
+    let aggregate = Json::Obj(vec![
+        ("schema".to_string(), Json::str(AGGREGATE_SCHEMA)),
+        ("records".to_string(), Json::Arr(records)),
+    ]);
+    if let Err(e) = std::fs::write(&aggregate_path, aggregate.render()) {
+        eprintln!("error: cannot write {}: {e}", aggregate_path.display());
+        return ExitCode::FAILURE;
+    }
+
     println!("\n############ summary ############");
     for bin in &bins {
         let status = if failed.contains(bin) { "FAILED" } else { "ok" };
         println!("{bin:<24} {status}");
     }
+    println!("\naggregated bench records: {}", aggregate_path.display());
     println!(
         "\n{}/{} experiments regenerated in {:.2}s wall-clock ({} worker threads)",
         bins.len() - failed.len(),

@@ -2,11 +2,12 @@
 //! aggregation, overlapping producer–consumer groups, and effective
 //! bandwidths that back the performance model's communication constants.
 
-use rapid_bench::{compare, section};
+use rapid_bench::{compare, section, BenchRecord};
 use rapid_ring::channel::FLIT_BYTES;
 use rapid_ring::sim::{memory_read, multicast, unicast, RingSim};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rec = BenchRecord::new("ring_multicast");
     let bytes = 128 * 1024u32;
 
     section("E11.1 — effective unicast bandwidth");
@@ -61,5 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_sep = separate.run_until_idle(10_000_000)?;
     compare("aggregated multicast read", format!("{t_sh} cycles"), "scales to many cores");
     compare("4 separate reads", format!("{t_sep} cycles"), "serializes at the memory port");
+    rec.metric("unicast_bw_bytes_per_cycle", bw);
+    rec.metric("multicast_cycles", t_mc as f64);
+    rec.metric("unicast3_cycles", t_uc as f64);
+    rec.metric("link_traffic_saving", 1.0 - (mcw + mccw) as f64 / (ucw + uccw) as f64);
+    rec.metric("overlapping_groups_cycles", t_ov as f64);
+    rec.metric("aggregated_read_cycles", t_sh as f64);
+    rec.metric("separate_read_cycles", t_sep as f64);
+    rec.finish();
     Ok(())
 }

@@ -1,0 +1,97 @@
+//! Cross-experiment telemetry summary: reads the aggregate record file
+//! `repro_all` writes (`BENCH_repro.json` by default) and renders one
+//! table over every experiment — wall-clock, config header, and metric
+//! counts — plus the headline metric of each record.
+//!
+//! Usage: `telemetry_report [PATH] [--validate]`
+//!
+//! With `--validate` the binary only checks the file against the
+//! `rapid-bench-aggregate-v1` schema and exits non-zero on any violation
+//! (the `scripts/check.sh --telemetry` gate).
+
+use rapid_telemetry::{validate_aggregate, Json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut path = String::from("BENCH_repro.json");
+    let mut validate_only = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--validate" => validate_only = true,
+            "--help" | "-h" => {
+                println!("usage: telemetry_report [PATH] [--validate]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}' (usage: telemetry_report [PATH] [--validate])");
+                return ExitCode::FAILURE;
+            }
+            other => path = other.to_string(),
+        }
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = validate_aggregate(&doc) {
+        eprintln!("error: {path} fails schema validation: {e}");
+        return ExitCode::FAILURE;
+    }
+    let records: &[Json] = doc.get("records").and_then(Json::as_arr).unwrap_or(&[]);
+    if validate_only {
+        println!("{path}: valid ({} records)", records.len());
+        return ExitCode::SUCCESS;
+    }
+
+    println!("telemetry report — {path} ({} experiments)\n", records.len());
+    println!(
+        "{:<24} {:>10} {:>8} {:>12} {:>8}",
+        "experiment", "wall ms", "threads", "fault seed", "metrics"
+    );
+    let mut total_ms = 0.0;
+    for r in records {
+        let name = r.get("experiment").and_then(Json::as_str).unwrap_or("?");
+        let wall = r.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+        total_ms += wall;
+        let config = r.get("config");
+        let threads = config
+            .and_then(|c| c.get("threads"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let seed = config
+            .and_then(|c| c.get("fault_seed"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let n_metrics = r.get("metrics").and_then(Json::as_obj).map_or(0, <[_]>::len);
+        println!("{name:<24} {wall:>10.1} {threads:>8.0} {seed:>12.0} {n_metrics:>8}");
+    }
+    println!("\ncumulative experiment wall-clock: {:.2}s", total_ms / 1e3);
+
+    println!("\nheadline metrics:");
+    for r in records {
+        let name = r.get("experiment").and_then(Json::as_str).unwrap_or("?");
+        let Some(metrics) = r.get("metrics").and_then(Json::as_obj) else { continue };
+        // Prefer a summary metric (means first); fall back to the first.
+        let pick = metrics
+            .iter()
+            .find(|(k, _)| k.ends_with(".mean"))
+            .or_else(|| metrics.first());
+        if let Some((k, v)) = pick {
+            if let Some(x) = v.as_f64() {
+                println!("  {name:<24} {k} = {x:.4}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

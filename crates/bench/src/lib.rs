@@ -160,6 +160,9 @@ pub fn suite_map<T: Send>(f: impl Fn(&Network) -> T + Sync) -> Vec<(String, T)> 
     suite.into_iter().zip(results).map(|(net, r)| (net.name, r)).collect()
 }
 
+pub mod record;
+pub use record::{json_path_from_args, BenchRecord};
+
 /// Arithmetic mean (0.0 for an empty slice).
 pub fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {

@@ -1,0 +1,230 @@
+//! Machine-readable experiment records: every bench binary accepts
+//! `--json <path>` and, when given, writes one `rapid-bench-v1` JSON
+//! record alongside its human-readable table. `repro_all` passes the flag
+//! to each child and aggregates the records into `BENCH_repro.json`;
+//! `telemetry_report` renders and validates the aggregate.
+//!
+//! The record shape (see [`rapid_telemetry::schema`]):
+//!
+//! ```json
+//! {
+//!   "schema": "rapid-bench-v1",
+//!   "experiment": "fig13_inference",
+//!   "config": { "threads": 8, "fault_seed": 7, ... },
+//!   "metrics": { "resnet50.int4.speedup_vs_fp16": 5.1, ... },
+//!   "wall_ms": 412.6
+//! }
+//! ```
+
+use rapid_fault::FaultConfig;
+use rapid_telemetry::{Json, MetricsRegistry, BENCH_SCHEMA};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Returns the path following a `--json` flag in this process's argument
+/// list, if any (`--json out.json` or `--json=out.json`).
+pub fn json_path_from_args() -> Option<PathBuf> {
+    json_path_from(std::env::args().skip(1))
+}
+
+fn json_path_from(args: impl Iterator<Item = String>) -> Option<PathBuf> {
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// Builder for one experiment's machine-readable record.
+///
+/// Construction stamps the wall-clock start and the common config header
+/// (worker `threads` from `RAPID_THREADS`, `fault_seed` from
+/// `RAPID_FAULT_SEED`); the binary adds its own config knobs and metrics
+/// as it runs, then calls [`BenchRecord::write_if_requested`] at exit.
+#[derive(Debug)]
+pub struct BenchRecord {
+    experiment: String,
+    start: Instant,
+    config: Vec<(String, Json)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl BenchRecord {
+    /// Starts a record for `experiment` (the binary name by convention)
+    /// with the standard config header.
+    pub fn new(experiment: &str) -> Self {
+        let mut r = Self {
+            experiment: experiment.to_string(),
+            start: Instant::now(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+        };
+        r.config_num("threads", crate::num_threads() as f64);
+        r.config_num("fault_seed", FaultConfig::seed_from_env(0) as f64);
+        r
+    }
+
+    /// Adds (or overwrites) a numeric config entry.
+    pub fn config_num(&mut self, key: &str, value: f64) {
+        self.put_config(key, Json::num(value));
+    }
+
+    /// Adds (or overwrites) a string config entry.
+    pub fn config_str(&mut self, key: &str, value: &str) {
+        self.put_config(key, Json::str(value));
+    }
+
+    fn put_config(&mut self, key: &str, value: Json) {
+        if let Some(slot) = self.config.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.config.push((key.to_string(), value));
+        }
+    }
+
+    /// Adds (or overwrites) one metric. Non-finite values are skipped so
+    /// the record always validates.
+    pub fn metric(&mut self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| k == name) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((name.to_string(), value));
+        }
+    }
+
+    /// Folds every counter/gauge/histogram of a telemetry registry into
+    /// the metrics map (histograms expand to `.count`/`.sum`/… as in
+    /// [`MetricsRegistry::to_json`]).
+    pub fn merge_registry(&mut self, reg: &MetricsRegistry) {
+        if let Some(entries) = reg.to_json().as_obj() {
+            for (k, v) in entries {
+                if let Some(x) = v.as_f64() {
+                    self.metric(k, x);
+                }
+            }
+        }
+    }
+
+    /// Elapsed wall-clock since construction, in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Renders the full `rapid-bench-v1` record.
+    pub fn to_json(&self) -> Json {
+        let metrics: Vec<(String, Json)> =
+            self.metrics.iter().map(|(k, v)| (k.clone(), Json::num(*v))).collect();
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str(BENCH_SCHEMA)),
+            ("experiment".to_string(), Json::str(&self.experiment)),
+            ("config".to_string(), Json::Obj(self.config.clone())),
+            ("metrics".to_string(), Json::Obj(metrics)),
+            ("wall_ms".to_string(), Json::num(self.wall_ms())),
+        ])
+    }
+
+    /// The standard epilogue every bench binary calls last: prints the
+    /// uniform wall-clock/threads/seed line and writes the JSON record
+    /// when `--json` was passed. Exits non-zero if the write fails, so a
+    /// requested record is never silently missing.
+    pub fn finish(&self) {
+        println!(
+            "\n[{}] wall-clock {:.2}s, {} worker threads, fault seed {}",
+            self.experiment,
+            self.wall_ms() / 1e3,
+            crate::num_threads(),
+            FaultConfig::seed_from_env(0),
+        );
+        match self.write_if_requested() {
+            Ok(Some(path)) => println!("[{}] wrote {}", self.experiment, path.display()),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("[{}] error: cannot write --json record: {e}", self.experiment);
+                std::process::exit(1);
+            }
+        }
+    }
+
+    /// Writes the record to the `--json` path when the flag was passed;
+    /// a no-op otherwise. Returns the path written to.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the file cannot be written.
+    pub fn write_if_requested(&self) -> std::io::Result<Option<PathBuf>> {
+        let Some(path) = json_path_from_args() else { return Ok(None) };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(&path, self.to_json().render())?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_telemetry::validate_bench_record;
+
+    #[test]
+    fn record_validates_against_the_schema() {
+        let mut r = BenchRecord::new("unit_test");
+        r.config_str("suite", "resnet50");
+        r.config_num("batch", 1.0);
+        r.metric("speedup", 5.25);
+        r.metric("dropped", f64::NAN); // skipped, never invalidates
+        let j = r.to_json();
+        validate_bench_record(&j).expect("record must validate");
+        assert_eq!(j.get("experiment").and_then(Json::as_str), Some("unit_test"));
+        let metrics = j.get("metrics").and_then(Json::as_obj).expect("metrics obj");
+        assert_eq!(metrics.len(), 1, "non-finite metric must be dropped");
+    }
+
+    #[test]
+    fn registry_counters_become_metrics() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("sim.macs.int4", 640);
+        reg.set_gauge("util", 0.5);
+        let mut r = BenchRecord::new("unit_test");
+        r.merge_registry(&reg);
+        let j = r.to_json();
+        let metrics = j.get("metrics").and_then(Json::as_obj).expect("metrics obj");
+        assert!(metrics.iter().any(|(k, v)| k == "sim.macs.int4" && v.as_f64() == Some(640.0)));
+        assert!(metrics.iter().any(|(k, _)| k == "util"));
+    }
+
+    #[test]
+    fn metric_and_config_overwrite_in_place() {
+        let mut r = BenchRecord::new("unit_test");
+        r.metric("x", 1.0);
+        r.metric("x", 2.0);
+        r.config_num("batch", 1.0);
+        r.config_num("batch", 8.0);
+        let j = r.to_json();
+        let metrics = j.get("metrics").and_then(Json::as_obj).expect("metrics");
+        assert_eq!(metrics.len(), 1);
+        assert_eq!(metrics[0].1.as_f64(), Some(2.0));
+        let config = j.get("config").and_then(Json::as_obj).expect("config");
+        let batch = config.iter().find(|(k, _)| k == "batch").expect("batch");
+        assert_eq!(batch.1.as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn json_flag_parses_both_spellings() {
+        let argv = |v: &[&str]| json_path_from(v.iter().map(|s| (*s).to_string()));
+        assert_eq!(argv(&["--json", "out.json"]), Some(PathBuf::from("out.json")));
+        assert_eq!(argv(&["--json=x/y.json"]), Some(PathBuf::from("x/y.json")));
+        assert_eq!(argv(&["--other"]), None);
+        assert_eq!(argv(&[]), None);
+    }
+}

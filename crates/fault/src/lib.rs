@@ -272,6 +272,21 @@ pub struct FaultCounts {
     pub seq_stalls: u64,
 }
 
+impl FaultCounts {
+    /// Accumulates these injection totals into a metrics registry under
+    /// `<prefix>.*` — the unified-telemetry form of this struct.
+    pub fn record_into(&self, reg: &mut rapid_telemetry::MetricsRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.mac_operand_flips"), self.mac_operand_flips);
+        reg.add(&format!("{prefix}.mac_acc_flips"), self.mac_acc_flips);
+        reg.add(&format!("{prefix}.int_code_flips"), self.int_code_flips);
+        reg.add(&format!("{prefix}.int_chunk_flips"), self.int_chunk_flips);
+        reg.add(&format!("{prefix}.ring_drops"), self.ring_drops);
+        reg.add(&format!("{prefix}.ring_dups"), self.ring_dups);
+        reg.add(&format!("{prefix}.ring_holds"), self.ring_holds);
+        reg.add(&format!("{prefix}.seq_stalls"), self.seq_stalls);
+    }
+}
+
 impl fmt::Display for FaultCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -10,6 +10,62 @@ use rapid_compiler::plan::NetworkPlan;
 use rapid_workloads::graph::Network;
 use serde::{Deserialize, Serialize};
 
+/// Roofline placement of one layer: where it sits relative to the
+/// machine's compute roof and memory-bandwidth slope, plus how its
+/// on-chip cycles split across the pipeline components.
+///
+/// Ops are counted as 2 × MACs (multiply and add separately), matching
+/// [`ChipConfig::peak_ops_per_cycle`]. Intensities are ops per DRAM
+/// byte; a layer whose working set stays on chip has infinite intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak throughput at the layer's precision and effective frequency.
+    pub peak_tops: f64,
+    /// Achieved throughput: ops over the layer's wall time (the larger
+    /// of its on-chip and memory-transfer times).
+    pub achieved_tops: f64,
+    /// Arithmetic intensity in ops/byte ([`f64::INFINITY`] when the
+    /// layer moves no DRAM bytes).
+    pub intensity: f64,
+    /// Ridge-point intensity: peak ops/s over memory bandwidth. Layers
+    /// left of this are bandwidth-limited on the classic roofline.
+    pub ridge_intensity: f64,
+    /// Share of on-chip cycles in ideal MPE compute.
+    pub ideal_share: f64,
+    /// Share of on-chip cycles in MPE overhead.
+    pub overhead_share: f64,
+    /// Share of on-chip cycles in SFU quantization.
+    pub quant_share: f64,
+    /// Share of on-chip cycles in SFU auxiliary work.
+    pub aux_share: f64,
+}
+
+impl Roofline {
+    /// Whether the layer sits right of the ridge point (its intensity
+    /// clears the bandwidth slope, so the compute roof is the limit).
+    pub fn compute_bound(&self) -> bool {
+        self.intensity >= self.ridge_intensity
+    }
+
+    /// Achieved over peak throughput (0 when peak is 0).
+    pub fn efficiency(&self) -> f64 {
+        if self.peak_tops > 0.0 { self.achieved_tops / self.peak_tops } else { 0.0 }
+    }
+
+    fn zero() -> Self {
+        Self {
+            peak_tops: 0.0,
+            achieved_tops: 0.0,
+            intensity: 0.0,
+            ridge_intensity: 0.0,
+            ideal_share: 0.0,
+            overhead_share: 0.0,
+            quant_share: 0.0,
+            aux_share: 0.0,
+        }
+    }
+}
+
 /// Cost report for one layer of a compiled plan.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerReport {
@@ -33,6 +89,8 @@ pub struct LayerReport {
     pub memory_bound: bool,
     /// MPE-array utilization for compute layers (0 for aux layers).
     pub utilization: f64,
+    /// Roofline placement and component cycle shares.
+    pub roofline: Roofline,
 }
 
 impl LayerReport {
@@ -44,7 +102,7 @@ impl LayerReport {
     /// One CSV row (matches [`csv_header`]).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{:.0},{:.0},{:.0},{:.0},{:.0},{},{:.3}",
+            "{},{},{},{:.0},{:.0},{:.0},{:.0},{:.0},{},{:.3},{:.3},{:.3},{:.2},{:.2},{:.3},{:.3},{:.3},{:.3}",
             self.name,
             self.precision,
             self.macs,
@@ -54,14 +112,23 @@ impl LayerReport {
             self.aux_cycles,
             self.dram_bytes,
             self.memory_bound,
-            self.utilization
+            self.utilization,
+            self.roofline.achieved_tops,
+            self.roofline.peak_tops,
+            self.roofline.intensity,
+            self.roofline.ridge_intensity,
+            self.roofline.ideal_share,
+            self.roofline.overhead_share,
+            self.roofline.quant_share,
+            self.roofline.aux_share
         )
     }
 }
 
 /// Header for [`LayerReport::csv_row`].
 pub fn csv_header() -> &'static str {
-    "layer,precision,macs,ideal_cycles,overhead_cycles,quant_cycles,aux_cycles,dram_bytes,memory_bound,utilization"
+    "layer,precision,macs,ideal_cycles,overhead_cycles,quant_cycles,aux_cycles,dram_bytes,memory_bound,utilization,\
+     achieved_tops,peak_tops,intensity,ridge_intensity,ideal_share,overhead_share,quant_share,aux_share"
 }
 
 /// Produces per-layer reports for a compiled plan at a batch size.
@@ -84,6 +151,12 @@ pub fn layer_reports(
     for (layer, lp) in net.layers.iter().zip(&plan.layers) {
         let rep = layer.repeat as f64;
         if !layer.op.is_compute() {
+            let aux = layer.aux_lane_cycles() * batch as f64 / lanes
+                + 0.5 * cfg.per_layer_overhead_cycles * rep;
+            let roofline = Roofline {
+                aux_share: if aux > 0.0 { 1.0 } else { 0.0 },
+                ..Roofline::zero()
+            };
             out.push(LayerReport {
                 name: layer.name.clone(),
                 precision: Precision::Fp16,
@@ -91,11 +164,11 @@ pub fn layer_reports(
                 ideal_cycles: 0.0,
                 overhead_cycles: 0.0,
                 quant_cycles: 0.0,
-                aux_cycles: layer.aux_lane_cycles() * batch as f64 / lanes
-                    + 0.5 * cfg.per_layer_overhead_cycles * rep,
+                aux_cycles: aux,
                 dram_bytes: 0.0,
                 memory_bound: false,
                 utilization: 0.0,
+                roofline,
             });
             continue;
         }
@@ -121,17 +194,34 @@ pub fn layer_reports(
         };
         let mem_s = (wbytes + abytes) / (chip.mem_bw_gbps * 1e9);
         let onchip_s = (ideal + overhead + quant) / (lp.effective_ghz * 1e9);
+        let macs = layer.macs() * batch;
+        let ops = 2.0 * macs as f64;
+        let wall_s = mem_s.max(onchip_s);
+        let peak_ops_per_s = chip.peak_ops_per_cycle(lp.precision) as f64 * lp.effective_ghz * 1e9;
+        let total = ideal + overhead + quant;
+        let dram = wbytes + abytes;
+        let roofline = Roofline {
+            peak_tops: peak_ops_per_s / 1e12,
+            achieved_tops: if wall_s > 0.0 { ops / wall_s / 1e12 } else { 0.0 },
+            intensity: if dram > 0.0 { ops / dram } else { f64::INFINITY },
+            ridge_intensity: peak_ops_per_s / (chip.mem_bw_gbps * 1e9),
+            ideal_share: if total > 0.0 { ideal / total } else { 0.0 },
+            overhead_share: if total > 0.0 { overhead / total } else { 0.0 },
+            quant_share: if total > 0.0 { quant / total } else { 0.0 },
+            aux_share: 0.0,
+        };
         out.push(LayerReport {
             name: layer.name.clone(),
             precision: lp.precision,
-            macs: layer.macs() * batch,
+            macs,
             ideal_cycles: ideal,
             overhead_cycles: overhead,
             quant_cycles: quant,
             aux_cycles: 0.0,
-            dram_bytes: wbytes + abytes,
+            dram_bytes: dram,
             memory_bound: mem_s > onchip_s,
             utilization: m.utilization(),
+            roofline,
         });
     }
     out
@@ -182,6 +272,37 @@ mod tests {
         let first = r.iter().find(|l| l.macs > 0).expect("has compute");
         assert_eq!(first.precision, Precision::Fp16);
         assert!(first.utilization < 0.5, "conv1 utilization {}", first.utilization);
+    }
+
+    #[test]
+    fn roofline_is_consistent() {
+        let r = reports("resnet50", Precision::Int4);
+        for l in &r {
+            let rf = &l.roofline;
+            let shares = rf.ideal_share + rf.overhead_share + rf.quant_share + rf.aux_share;
+            if l.total_cycles() > 0.0 {
+                assert!((shares - 1.0).abs() < 1e-9, "{}: shares sum {shares}", l.name);
+            }
+            if l.macs == 0 {
+                assert_eq!(rf.achieved_tops, 0.0, "{}", l.name);
+                continue;
+            }
+            assert!(rf.peak_tops > 0.0 && rf.achieved_tops > 0.0, "{}", l.name);
+            assert!(
+                rf.achieved_tops <= rf.peak_tops * 1.01,
+                "{}: achieved {} > peak {}",
+                l.name,
+                rf.achieved_tops,
+                rf.peak_tops
+            );
+            assert!(rf.efficiency() <= 1.01, "{}", l.name);
+            assert!(rf.intensity > 0.0 && rf.ridge_intensity > 0.0, "{}", l.name);
+            // A layer that the time model calls memory-bound must sit left
+            // of the ridge point on the classic roofline too.
+            if l.memory_bound {
+                assert!(!rf.compute_bound(), "{}: memory-bound right of ridge", l.name);
+            }
+        }
     }
 
     #[test]

@@ -64,6 +64,27 @@ impl GemmStats {
         self.saturations += other.saturations;
         self.guard_clamps += other.guard_clamps;
     }
+
+    /// Accumulates these statistics into a metrics registry under
+    /// `<prefix>.{macs, zero_gated, saturations, guard_clamps}` — the
+    /// unified-telemetry form of this struct.
+    pub fn record_into(&self, reg: &mut rapid_telemetry::MetricsRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.macs"), self.macs);
+        reg.add(&format!("{prefix}.zero_gated"), self.zero_gated);
+        reg.add(&format!("{prefix}.saturations"), self.saturations);
+        reg.add(&format!("{prefix}.guard_clamps"), self.guard_clamps);
+    }
+
+    /// Reconstructs the struct as a thin view over registry counters
+    /// written by [`GemmStats::record_into`] with the same prefix.
+    pub fn from_registry(reg: &rapid_telemetry::MetricsRegistry, prefix: &str) -> Self {
+        Self {
+            macs: reg.counter(&format!("{prefix}.macs")),
+            zero_gated: reg.counter(&format!("{prefix}.zero_gated")),
+            saturations: reg.counter(&format!("{prefix}.saturations")),
+            guard_clamps: reg.counter(&format!("{prefix}.guard_clamps")),
+        }
+    }
 }
 
 fn check_matmul_shapes(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), NumericsError> {

@@ -12,18 +12,26 @@ use rapid_numerics::fma::FmaMode;
 use rapid_numerics::gemm::{matmul_emulated_guarded, GemmStats};
 use rapid_numerics::{GuardPolicy, NumericsError, Tensor};
 use rapid_refnet::backend::{Backend, OperandRole};
+use rapid_telemetry::MetricsRegistry;
 use std::cell::RefCell;
+
+/// The registry prefix this backend's GEMM statistics accumulate under.
+pub const BACKEND_METRIC_PREFIX: &str = "recover.gemm";
 
 /// HFP8 backend with a seeded fault plan spliced into every GEMM and a
 /// configurable guard policy. The `Backend` trait takes `&self`, so the
-/// plan (which must mutate its RNG and trace) and the accumulated stats
+/// plan (which must mutate its RNG and trace) and the metrics registry
 /// live in `RefCell`s; training is single-threaded per backend instance.
+///
+/// Statistics accumulate into a [`MetricsRegistry`] (the unified telemetry
+/// store); [`GuardedHfp8Backend::stats`] reconstructs the legacy
+/// [`GemmStats`] as a thin view over its counters.
 #[derive(Debug)]
 pub struct GuardedHfp8Backend {
     chunk_len: usize,
     policy: GuardPolicy,
     plan: RefCell<FaultPlan>,
-    stats: RefCell<GemmStats>,
+    metrics: RefCell<MetricsRegistry>,
 }
 
 impl GuardedHfp8Backend {
@@ -34,7 +42,7 @@ impl GuardedHfp8Backend {
             chunk_len: 64,
             policy,
             plan: RefCell::new(FaultPlan::new(cfg)),
-            stats: RefCell::new(GemmStats::default()),
+            metrics: RefCell::new(MetricsRegistry::new()),
         }
     }
 
@@ -60,16 +68,33 @@ impl GuardedHfp8Backend {
     }
 
     /// GEMM statistics accumulated across every call — `guard_clamps`
-    /// counts the accumulators [`GuardPolicy::Saturate`] clamped.
+    /// counts the accumulators [`GuardPolicy::Saturate`] clamped. A thin
+    /// view reconstructed from the backing metrics registry.
     pub fn stats(&self) -> GemmStats {
-        *self.stats.borrow()
+        GemmStats::from_registry(&self.metrics.borrow(), BACKEND_METRIC_PREFIX)
+    }
+
+    /// Snapshot of the backing metrics registry (GEMM counters under
+    /// [`BACKEND_METRIC_PREFIX`], plus `recover.gemm.calls`).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.metrics.borrow().clone()
+    }
+
+    /// Drains this backend's metrics into an external registry (e.g. a
+    /// bench harness `Telemetry` bundle) and resets the local one.
+    pub fn drain_metrics_into(&self, reg: &mut MetricsRegistry) {
+        let mut mine = self.metrics.borrow_mut();
+        reg.merge(&mine);
+        *mine = MetricsRegistry::new();
     }
 
     fn guarded(&self, mode: FmaMode, a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
         let mut plan = self.plan.borrow_mut();
         let (c, stats) =
             matmul_emulated_guarded(mode, a, b, self.chunk_len, self.policy, Some(&mut plan))?;
-        self.stats.borrow_mut().merge(stats);
+        let mut reg = self.metrics.borrow_mut();
+        stats.record_into(&mut reg, BACKEND_METRIC_PREFIX);
+        reg.incr("recover.gemm.calls");
         Ok(c)
     }
 }

@@ -66,7 +66,7 @@ pub mod crc;
 pub mod scaler;
 pub mod train;
 
-pub use backend::GuardedHfp8Backend;
+pub use backend::{GuardedHfp8Backend, BACKEND_METRIC_PREFIX};
 pub use checkpoint::{CheckpointError, CheckpointStore, LayerState, TrainState};
 pub use crc::crc32;
 pub use scaler::DynamicLossScaler;

@@ -44,7 +44,9 @@ pub mod reliable;
 pub mod sim;
 
 pub use allreduce::{analytic_allreduce_cycles, simulate_allreduce, AllReduceConfig, AllReduceResult};
-pub use reliable::{reliable_allreduce, ReliableConfig, ReliableError, RingHealth};
+pub use reliable::{
+    reliable_allreduce, reliable_allreduce_instrumented, ReliableConfig, ReliableError, RingHealth,
+};
 pub use channel::{Channel, Direction, Flit, FLIT_BYTES};
 pub use node::MniNode;
-pub use sim::{memory_read, multicast, unicast, RingError, RingSim, RingTimeout};
+pub use sim::{memory_read, multicast, unicast, RingError, RingSim, RingTimeout, RING_TRACE_PID};

@@ -111,6 +111,35 @@ impl RingHealth {
         }
         self.ideal_cycles as f64 / self.cycles as f64
     }
+
+    /// Accumulates this report into a metrics registry under `<prefix>.*`
+    /// (counters add across exchanges; `max_backoff_cycles` keeps the
+    /// high-water mark) — the unified-telemetry form of this struct.
+    pub fn record_into(&self, reg: &mut rapid_telemetry::MetricsRegistry, prefix: &str) {
+        reg.add(&format!("{prefix}.chunks"), self.chunks);
+        reg.add(&format!("{prefix}.transmissions"), self.transmissions);
+        reg.add(&format!("{prefix}.retransmits"), self.retransmits);
+        reg.add(&format!("{prefix}.duplicates_discarded"), self.duplicates_discarded);
+        reg.add(&format!("{prefix}.holds"), self.holds);
+        reg.counter_max(&format!("{prefix}.max_backoff_cycles"), self.max_backoff_cycles);
+        reg.add(&format!("{prefix}.cycles"), self.cycles);
+        reg.add(&format!("{prefix}.ideal_cycles"), self.ideal_cycles);
+    }
+
+    /// Reconstructs the struct as a thin view over registry counters
+    /// written by [`RingHealth::record_into`] with the same prefix.
+    pub fn from_registry(reg: &rapid_telemetry::MetricsRegistry, prefix: &str) -> Self {
+        Self {
+            chunks: reg.counter(&format!("{prefix}.chunks")),
+            transmissions: reg.counter(&format!("{prefix}.transmissions")),
+            retransmits: reg.counter(&format!("{prefix}.retransmits")),
+            duplicates_discarded: reg.counter(&format!("{prefix}.duplicates_discarded")),
+            holds: reg.counter(&format!("{prefix}.holds")),
+            max_backoff_cycles: reg.counter(&format!("{prefix}.max_backoff_cycles")),
+            cycles: reg.counter(&format!("{prefix}.cycles")),
+            ideal_cycles: reg.counter(&format!("{prefix}.ideal_cycles")),
+        }
+    }
 }
 
 /// Why a reliable exchange could not complete.
@@ -282,6 +311,28 @@ pub fn reliable_allreduce(
     health.cycles = total;
     health.ideal_cycles = ideal;
     Ok((reduced, health))
+}
+
+/// [`reliable_allreduce`] that additionally accumulates the exchange's
+/// [`RingHealth`] into a telemetry bundle under `ring.reliable.*` (plus a
+/// `ring.reliable.exchanges` call counter). `tele = None` is exactly
+/// [`reliable_allreduce`].
+///
+/// # Errors
+///
+/// Same contract as [`reliable_allreduce`].
+pub fn reliable_allreduce_instrumented(
+    inputs: &[Vec<f32>],
+    cfg: &ReliableConfig,
+    faults: Option<&mut FaultPlan>,
+    tele: Option<&mut rapid_telemetry::Telemetry>,
+) -> Result<(Vec<f32>, RingHealth), ReliableError> {
+    let (out, health) = reliable_allreduce(inputs, cfg, faults)?;
+    if let Some(t) = tele {
+        health.record_into(&mut t.registry, "ring.reliable");
+        t.registry.incr("ring.reliable.exchanges");
+    }
+    Ok((out, health))
 }
 
 #[cfg(test)]

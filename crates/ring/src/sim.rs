@@ -5,9 +5,14 @@ use crate::channel::{shortest_direction, Channel, Direction, Flit};
 use crate::node::MniNode;
 use rapid_arch::isa::MniInstr;
 use rapid_fault::{DeliveryFault, FaultPlan};
+use rapid_telemetry::{MetricsRegistry, TraceSink};
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
+
+/// Chrome-trace process id the ring's tracks live under (cores use their
+/// own ids as pids; this sits far above any realistic core count).
+pub const RING_TRACE_PID: u32 = 1000;
 
 /// Simulation failed to drain within the cycle budget.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +76,7 @@ pub struct RingSim {
     mem_latency: u64,
     cycle: u64,
     faults: Option<FaultPlan>,
+    trace: Option<TraceSink>,
     cw_holds: Vec<u32>,
     ccw_holds: Vec<u32>,
 }
@@ -114,6 +120,7 @@ impl RingSim {
             mem_latency,
             cycle: 0,
             faults: None,
+            trace: None,
             cw_holds: vec![0; n],
             ccw_holds: vec![0; n],
         })
@@ -134,6 +141,40 @@ impl RingSim {
     /// The installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<&FaultPlan> {
         self.faults.as_ref()
+    }
+
+    /// Installs a trace sink: subsequent cycles emit per-node flit events
+    /// (`send`, `deliver`, `retransmit`, `duplicate`) on the
+    /// [`RING_TRACE_PID`] track group, one thread track per ring node.
+    /// Same ownership shape as [`RingSim::set_fault_plan`].
+    pub fn set_trace_sink(&mut self, mut sink: TraceSink) {
+        for i in 0..self.nodes.len() {
+            let name = if i == self.mem_id() {
+                "memory".to_string()
+            } else {
+                format!("node{i}")
+            };
+            sink.track(RING_TRACE_PID, i as u32, "ring", &name);
+        }
+        self.trace = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink (with its accumulated
+    /// events).
+    pub fn take_trace_sink(&mut self) -> Option<TraceSink> {
+        self.trace.take()
+    }
+
+    /// Accumulates this ring's transport statistics into `reg` under
+    /// `<prefix>.`: cycles elapsed, per-channel hop traversals, and total
+    /// payload bytes delivered.
+    pub fn record_metrics(&self, reg: &mut MetricsRegistry, prefix: &str) {
+        let (cw, ccw) = self.link_hops();
+        reg.add(&format!("{prefix}.cycles"), self.cycle);
+        reg.add(&format!("{prefix}.cw_hops"), cw);
+        reg.add(&format!("{prefix}.ccw_hops"), ccw);
+        let bytes: u64 = (0..self.nodes.len()).map(|i| self.received_bytes(i)).sum();
+        reg.add(&format!("{prefix}.delivered_bytes"), bytes);
     }
 
     /// The memory node's id.
@@ -263,13 +304,28 @@ impl RingSim {
                             // This copy is lost at the consumer; the
                             // source retransmits it (link-level retry).
                             self.nodes[src].retransmit.push_back((tag, 1 << i));
+                            if let Some(t) = self.trace.as_mut() {
+                                t.instant(RING_TRACE_PID, i as u32, "ring", "drop", self.cycle);
+                            }
                         }
                         Some(DeliveryFault::Duplicate) => {
                             self.nodes[i].accept_data(tag);
                             self.nodes[i].accept_data(tag);
+                            if let Some(t) = self.trace.as_mut() {
+                                t.instant(
+                                    RING_TRACE_PID,
+                                    i as u32,
+                                    "ring",
+                                    "duplicate",
+                                    self.cycle,
+                                );
+                            }
                         }
                         None => {
                             self.nodes[i].accept_data(tag);
+                            if let Some(t) = self.trace.as_mut() {
+                                t.instant(RING_TRACE_PID, i as u32, "ring", "deliver", self.cycle);
+                            }
                         }
                     }
                 }
@@ -341,6 +397,9 @@ impl RingSim {
                     let ok = chan.inject(i, flit);
                     debug_assert!(ok, "may_inject checked the slot");
                     self.nodes[i].retransmit.pop_front();
+                    if let Some(t) = self.trace.as_mut() {
+                        t.instant(RING_TRACE_PID, i as u32, "ring", "retransmit", self.cycle);
+                    }
                 }
                 continue;
             }
@@ -372,6 +431,9 @@ impl RingSim {
                 };
                 let ok = chan.inject(i, flit);
                 debug_assert!(ok, "may_inject checked the slot");
+                if let Some(t) = self.trace.as_mut() {
+                    t.instant(RING_TRACE_PID, i as u32, "ring", "send", self.cycle);
+                }
                 if let Some(s) = self.nodes[i].active_send.as_mut() {
                     s.flits_left -= 1;
                     if s.flits_left == 0 {

@@ -10,11 +10,18 @@
 
 use crate::error::SimError;
 use crate::gemm::{CoreSim, GemmJob, SimResult};
+use crate::sfu::{SfuStage, SfuUnit};
 use rapid_arch::geometry::CoreConfig;
 use rapid_arch::precision::Precision;
 use rapid_fault::FaultPlan;
+use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
 use rapid_numerics::{NumericsError, Tensor};
 use rapid_ring::sim::{memory_read, RingSim};
+use rapid_telemetry::{Telemetry, TraceSink};
+
+/// Chrome-trace process id the SFU pool's track lives under (cores use
+/// their ids, the ring uses [`rapid_ring::RING_TRACE_PID`]).
+pub const SFU_TRACE_PID: u32 = 1001;
 
 /// A chip-level GEMM job.
 #[derive(Debug, Clone)]
@@ -115,6 +122,29 @@ pub fn try_run_chip_gemm_degraded(
     failed_mask: u64,
     ring_faults: Option<FaultPlan>,
 ) -> Result<ChipSimResult, SimError> {
+    try_run_chip_gemm_telemetry(job, core_cfg, n_cores, failed_mask, ring_faults, None)
+}
+
+/// [`try_run_chip_gemm_degraded`] with an optional telemetry bundle. With
+/// `tele = Some`, distribution/compute/total cycle counters and ring
+/// transport statistics accumulate under `chip.*`, every core contributes
+/// its `sim.core<id>.*` counters, and — when the bundle carries a trace
+/// sink — the trace gains the per-core sequencer/array tracks, a `ring`
+/// track group with per-node flit events, and an `sfu` track timing the
+/// operand quantization that runs on the SFU arrays. `tele = None` is the
+/// byte-for-byte uninstrumented path.
+///
+/// # Errors
+///
+/// Same contract as [`try_run_chip_gemm_degraded`].
+pub fn try_run_chip_gemm_telemetry(
+    job: &ChipGemmJob,
+    core_cfg: CoreConfig,
+    n_cores: usize,
+    failed_mask: u64,
+    ring_faults: Option<FaultPlan>,
+    mut tele: Option<&mut Telemetry>,
+) -> Result<ChipSimResult, SimError> {
     if n_cores == 0 {
         return Err(SimError::InvalidConfig("need at least one core".to_string()));
     }
@@ -145,6 +175,9 @@ pub fn try_run_chip_gemm_degraded(
     if let Some(plan) = ring_faults {
         ring.set_fault_plan(plan);
     }
+    if tele.as_deref().is_some_and(Telemetry::tracing) {
+        ring.set_trace_sink(TraceSink::new());
+    }
     let a_bytes = (m * k) as f64 * elem_bytes;
     memory_read(&mut ring, 1, &active, a_bytes.ceil() as u32);
     let cols_per_core = n.div_ceil(active.len());
@@ -157,13 +190,32 @@ pub fn try_run_chip_gemm_degraded(
         memory_read(&mut ring, 2 + core as u16, &[core], b_bytes.ceil() as u32);
     }
     let distribution_cycles = ring.run_until_idle(100_000_000)?;
+    if let Some(t) = tele.as_deref_mut() {
+        ring.record_metrics(&mut t.registry, "chip.ring");
+        if let (Some(ring_trace), Some(sink)) = (ring.take_trace_sink(), t.trace.as_mut()) {
+            sink.merge(ring_trace);
+        }
+        // The operand quantization that produced the distributed tensors
+        // runs on the SFU arrays: time it honestly at the SFU's quantize
+        // throughput and give it its own track (the cost estimate depends
+        // only on element counts and lane count, never on values).
+        let sfu = SfuUnit::new(core_cfg.corelet.sfu_lanes);
+        let q = QuantParams::from_abs_max(IntFormat::Int4, Signedness::Signed, 1.0);
+        let (_, a_cycles) = sfu.apply(&SfuStage::Quantize(q), &job.a);
+        let (_, b_cycles) = sfu.apply(&SfuStage::Quantize(q), &job.b);
+        t.registry.add("chip.sfu.quantize_cycles", a_cycles + b_cycles);
+        if let Some(sink) = t.trace.as_mut() {
+            sink.track(SFU_TRACE_PID, 0, "sfu", "quantize");
+            sink.complete(SFU_TRACE_PID, 0, "sfu", "quantize(A)", 0, a_cycles);
+            sink.complete(SFU_TRACE_PID, 0, "sfu", "quantize(B)", a_cycles, b_cycles);
+        }
+    }
 
     // --- Compute phase on the surviving cores ---------------------------
-    let sim = CoreSim::new(core_cfg);
     let mut c = Tensor::zeros(vec![m, n]);
     let mut cores = Vec::new();
     let mut compute_cycles = 0u64;
-    for slot in 0..active.len() {
+    for (slot, &core_id) in active.iter().enumerate() {
         let c0 = slot * cols_per_core;
         if c0 >= n {
             break;
@@ -176,11 +228,12 @@ pub fn try_run_chip_gemm_degraded(
                 b_slice.set(&[r, cc], job.b.get(&[r, c0 + cc]));
             }
         }
-        let r = sim.try_run_gemm(&GemmJob {
-            a: job.a.clone(),
-            b: b_slice,
-            precision: job.precision,
-        })?;
+        let sim = CoreSim::new(core_cfg).with_core_id(core_id as u32);
+        let r = sim.try_run_gemm_instrumented(
+            &GemmJob { a: job.a.clone(), b: b_slice, precision: job.precision },
+            None,
+            tele.as_deref_mut(),
+        )?;
         for row in 0..m {
             for cc in 0..cols {
                 c.set(&[row, c0 + cc], r.c.get(&[row, cc]));
@@ -195,6 +248,12 @@ pub fn try_run_chip_gemm_degraded(
     // exposure is the smaller of the two phases.
     let total_cycles = compute_cycles.max(distribution_cycles)
         + compute_cycles.min(distribution_cycles).min(distribution_cycles / 8);
+    if let Some(t) = tele {
+        t.registry.add("chip.distribution_cycles", distribution_cycles);
+        t.registry.add("chip.compute_cycles", compute_cycles);
+        t.registry.add("chip.total_cycles", total_cycles);
+        t.registry.counter_max("chip.cores_active", active.len() as u64);
+    }
     Ok(ChipSimResult { c, distribution_cycles, compute_cycles, total_cycles, cores })
 }
 

@@ -14,6 +14,19 @@ use rapid_fault::FaultPlan;
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
 use rapid_numerics::{NumericsError, QTensor, Tensor};
+use rapid_telemetry::{MetricsRegistry, SpanCoalescer, Telemetry};
+
+/// The stable label a [`Precision`] carries in telemetry metric names
+/// (`sim.macs.fp16`, ...).
+pub fn precision_label(p: Precision) -> &'static str {
+    match p {
+        Precision::Fp32 => "fp32",
+        Precision::Fp16 => "fp16",
+        Precision::Hfp8 => "hfp8",
+        Precision::Int4 => "int4",
+        Precision::Int2 => "int2",
+    }
+}
 
 /// A GEMM job for the core simulator.
 #[derive(Debug, Clone)]
@@ -57,12 +70,21 @@ pub struct SimResult {
 #[derive(Debug, Clone)]
 pub struct CoreSim {
     cfg: CoreConfig,
+    core_id: u32,
 }
 
 impl CoreSim {
     /// Creates a simulator for a core configuration.
     pub fn new(cfg: CoreConfig) -> Self {
-        Self { cfg }
+        Self { cfg, core_id: 0 }
+    }
+
+    /// Sets the core id used to label this core's telemetry (metric name
+    /// prefixes and trace track groups). Chip-level runs number their
+    /// cores; a standalone core is core 0.
+    pub fn with_core_id(mut self, core_id: u32) -> Self {
+        self.core_id = core_id;
+        self
     }
 
     /// The default RaPiD core.
@@ -119,7 +141,34 @@ impl CoreSim {
     pub fn try_run_gemm_with(
         &self,
         job: &GemmJob,
+        faults: Option<&mut FaultPlan>,
+    ) -> Result<SimResult, SimError> {
+        self.try_run_gemm_instrumented(job, faults, None)
+    }
+
+    /// [`CoreSim::try_run_gemm_with`] with an optional telemetry bundle:
+    /// when `tele` is `Some`, per-corelet counters (cycles by phase, MACs,
+    /// zero-gated MACs, sequencer stalls and elements moved) accumulate
+    /// into the registry under `sim.core<id>.c<corelet>.*`, and — when the
+    /// bundle carries a trace sink — every corelet contributes three
+    /// Chrome-trace tracks (weight sequencer, input sequencer, array
+    /// phases). With `tele = None` the run is byte-for-byte the
+    /// uninstrumented path.
+    ///
+    /// On a watchdog deadlock the partial counters collected up to the
+    /// failure cycle are flushed into the registry (plus a
+    /// `sim.watchdog.deadlocks` increment and a `deadlock` trace instant)
+    /// before the error returns, so stall diagnostics carry the counter
+    /// snapshot at the failure cycle.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CoreSim::try_run_gemm`].
+    pub fn try_run_gemm_instrumented(
+        &self,
+        job: &GemmJob,
         mut faults: Option<&mut FaultPlan>,
+        mut tele: Option<&mut Telemetry>,
     ) -> Result<SimResult, SimError> {
         if job.a.shape().len() != 2
             || job.b.shape().len() != 2
@@ -175,7 +224,7 @@ impl CoreSim {
         let mut c = Tensor::zeros(vec![m as usize, n as usize]);
         let mut reports = Vec::new();
         let mut wall = 0u64;
-        for (row0, rows, tiles) in shares {
+        for (idx, (row0, rows, tiles)) in shares.into_iter().enumerate() {
             let (outputs, report) = self.run_corelet(
                 &qa_t,
                 &qb_t,
@@ -187,12 +236,26 @@ impl CoreSim {
                 job.precision,
                 datapath.clone(),
                 faults.as_deref_mut(),
+                idx as u32,
+                tele.as_deref_mut(),
             )?;
             for (r, cc, v) in outputs {
                 c.set(&[(row0 + r) as usize, cc as usize], v);
             }
             wall = wall.max(report.cycles);
             reports.push(report);
+        }
+        if let Some(t) = tele {
+            let reg = &mut t.registry;
+            reg.incr("sim.gemm.runs");
+            reg.add("sim.gemm.wall_cycles", wall);
+            let macs: u64 = reports.iter().map(|r| r.macs).sum();
+            let gated: u64 = reports.iter().map(|r| r.zero_gated).sum();
+            reg.add(&format!("sim.macs.{}", precision_label(job.precision)), macs);
+            reg.add("sim.macs.zero_gated", gated);
+            for r in &reports {
+                reg.observe("sim.corelet_cycles", r.cycles);
+            }
         }
         Ok(SimResult { c, cycles: wall, corelets: reports })
     }
@@ -211,6 +274,8 @@ impl CoreSim {
         precision: Precision,
         datapath: Datapath,
         mut faults: Option<&mut FaultPlan>,
+        corelet_idx: u32,
+        mut tele: Option<&mut Telemetry>,
     ) -> Result<(Vec<(u64, u64, f32)>, CoreletReport), SimError> {
         let corelet = self.cfg.corelet;
         let ci_lrf = u64::from(corelet.ci_lrf_max(precision));
@@ -279,6 +344,30 @@ impl CoreSim {
         // Fault-injected sequencer stalls: remaining burst cycles per
         // sequencer (a stalled sequencer loses its port turn entirely).
         let (mut wstall, mut istall) = (0u32, 0u32);
+
+        // Trace plumbing: three tracks per corelet (weight sequencer,
+        // input sequencer, array phases). Per-cycle labels are derived by
+        // diffing the machine's own counters, so the trace is a pure
+        // observer — nothing here feeds back into the simulation.
+        let pid = self.core_id;
+        let tid = corelet_idx * 3;
+        let tracing = tele.as_deref().is_some_and(Telemetry::tracing);
+        let mut spans = if tracing {
+            if let Some(sink) = tele.as_deref_mut().and_then(|t| t.trace.as_mut()) {
+                let p = format!("core{}", self.core_id);
+                sink.track(pid, tid, &p, &format!("corelet{corelet_idx}.wseq"));
+                sink.track(pid, tid + 1, &p, &format!("corelet{corelet_idx}.iseq"));
+                sink.track(pid, tid + 2, &p, &format!("corelet{corelet_idx}.array"));
+            }
+            Some((
+                SpanCoalescer::new(pid, tid, "seq"),
+                SpanCoalescer::new(pid, tid + 1, "seq"),
+                SpanCoalescer::new(pid, tid + 2, "array"),
+            ))
+        } else {
+            None
+        };
+
         while !array.is_done() {
             if let Some(plan) = faults.as_deref_mut().filter(|p| p.seq_enabled()) {
                 if wstall == 0 {
@@ -288,6 +377,16 @@ impl CoreSim {
                     istall = plan.seq_stall().unwrap_or(0);
                 }
             }
+            let before = spans.as_ref().map(|_| {
+                (
+                    array.phase_cycles,
+                    wseq.stall_cycles,
+                    wseq.elems_moved,
+                    wseq.waiting_on(),
+                    iseq.stall_cycles,
+                    iseq.elems_moved,
+                )
+            });
             let mut budget = port;
             // The L1 port serves the weight stream first (block loads are
             // the critical path), then input streaming.
@@ -304,6 +403,19 @@ impl CoreSim {
                 iseq.tick(&spad, &mut ilink, &mut tokens, &mut budget);
             }
             array.tick(&mut wlink, &mut ilink, &mut tokens);
+            if let (Some((wsc, isc, asc)), Some(b)) = (spans.as_mut(), before) {
+                if let Some(sink) = tele.as_deref_mut().and_then(|t| t.trace.as_mut()) {
+                    let (phases, wst, wel, wwait, ist, iel) = b;
+                    asc.observe(sink, cycles, phase_delta_label(phases, array.phase_cycles));
+                    wsc.observe(sink, cycles, seq_cycle_label(&wseq, wst, wel));
+                    isc.observe(sink, cycles, seq_cycle_label(&iseq, ist, iel));
+                    // A sequencer that was parked on a WaitToken and moved
+                    // on this cycle just had its token granted.
+                    if wwait.is_some() && wseq.waiting_on() != wwait {
+                        sink.instant(pid, tid, "seq", "token_grant", cycles);
+                    }
+                }
+            }
             cycles += 1;
             let marker = array
                 .progress_marker()
@@ -312,6 +424,29 @@ impl CoreSim {
                 .wrapping_add(wseq.pc() as u64)
                 .wrapping_add(iseq.pc() as u64);
             if dog.observe(cycles, marker) {
+                // Flush partial telemetry so the deadlock diagnosis carries
+                // the counter snapshot at the failure cycle.
+                if let Some(t) = tele {
+                    t.registry.incr("sim.watchdog.deadlocks");
+                    t.registry.counter_max("sim.watchdog.deadlock_cycle", cycles);
+                    record_corelet_counters(
+                        &mut t.registry,
+                        self.core_id,
+                        corelet_idx,
+                        cycles,
+                        &array,
+                        &wseq,
+                        &iseq,
+                    );
+                    if let (Some((mut wsc, mut isc, mut asc)), Some(sink)) =
+                        (spans.take(), t.trace.as_mut())
+                    {
+                        wsc.finish(sink, cycles);
+                        isc.finish(sink, cycles);
+                        asc.finish(sink, cycles);
+                        sink.instant(pid, tid + 2, "array", "deadlock", cycles);
+                    }
+                }
                 return Err(SimError::Deadlock {
                     cycle: cycles,
                     sequencer_states: vec![
@@ -320,6 +455,24 @@ impl CoreSim {
                     ],
                     waiting_tokens: tokens.snapshot(),
                 });
+            }
+        }
+        if let Some(t) = tele {
+            record_corelet_counters(
+                &mut t.registry,
+                self.core_id,
+                corelet_idx,
+                cycles,
+                &array,
+                &wseq,
+                &iseq,
+            );
+            if let (Some((mut wsc, mut isc, mut asc)), Some(sink)) =
+                (spans.take(), t.trace.as_mut())
+            {
+                wsc.finish(sink, cycles);
+                isc.finish(sink, cycles);
+                asc.finish(sink, cycles);
             }
         }
         let report = CoreletReport {
@@ -331,6 +484,49 @@ impl CoreSim {
         };
         Ok((array.outputs, report))
     }
+}
+
+/// Which array phase consumed the cycle, from the phase-counter delta.
+fn phase_delta_label(before: [u64; 4], after: [u64; 4]) -> Option<&'static str> {
+    const LABELS: [&str; 4] = ["blockload", "fill", "stream", "starved"];
+    (0..4).find(|&i| after[i] > before[i]).map(|i| LABELS[i])
+}
+
+/// What a sequencer did this cycle, from its own counters.
+fn seq_cycle_label(seq: &Sequencer, stalls_before: u64, elems_before: u64) -> Option<&'static str> {
+    if seq.stall_cycles > stalls_before {
+        Some("stall")
+    } else if seq.elems_moved > elems_before {
+        Some("stream")
+    } else {
+        None
+    }
+}
+
+/// Accumulates one corelet's end-of-run (or failure-cycle) counters into
+/// the registry under `sim.core<id>.c<corelet>.*`.
+fn record_corelet_counters(
+    reg: &mut MetricsRegistry,
+    core_id: u32,
+    corelet_idx: u32,
+    cycles: u64,
+    array: &MpeArray,
+    wseq: &Sequencer,
+    iseq: &Sequencer,
+) {
+    let p = format!("sim.core{core_id}.c{corelet_idx}");
+    reg.add(&format!("{p}.cycles"), cycles);
+    for (label, v) in
+        ["blockload", "fill", "stream", "starved"].iter().zip(array.phase_cycles.iter())
+    {
+        reg.add(&format!("{p}.{label}_cycles"), *v);
+    }
+    reg.add(&format!("{p}.macs"), array.macs);
+    reg.add(&format!("{p}.zero_gated"), array.zero_gated);
+    reg.add(&format!("{p}.wseq_stall_cycles"), wseq.stall_cycles);
+    reg.add(&format!("{p}.iseq_stall_cycles"), iseq.stall_cycles);
+    reg.add(&format!("{p}.wseq_elems"), wseq.elems_moved);
+    reg.add(&format!("{p}.iseq_elems"), iseq.elems_moved);
 }
 
 /// Quantizes the operands for storage and picks the array datapath.

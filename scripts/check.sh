@@ -5,6 +5,11 @@
 #   scripts/check.sh --recovery   recovery gate only: clippy on the recover
 #                                 crate (unwrap/expect denied) + a timed
 #                                 recovery_sweep smoke
+#   scripts/check.sh --telemetry  telemetry gate only: clippy on the
+#                                 telemetry crate (unwrap/expect denied),
+#                                 a timed bench smoke with --json +
+#                                 RAPID_TRACE, and schema validation of
+#                                 the emitted record via telemetry_report
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,9 +21,34 @@ recovery_gate() {
     timeout 120 ./target/release/recovery_sweep --smoke
 }
 
+telemetry_gate() {
+    echo "== cargo clippy -p rapid-telemetry (deny warnings; the crate denies unwrap/expect) =="
+    cargo clippy -p rapid-telemetry --all-targets -- -D warnings
+    echo "== calibration --json + RAPID_TRACE smoke (hard 120s timeout) =="
+    cargo build --release -p rapid-bench --bin calibration --bin telemetry_report
+    local out="target/telemetry-gate"
+    rm -rf "$out" && mkdir -p "$out"
+    timeout 120 env RAPID_TRACE="$out/trace.json" \
+        ./target/release/calibration --json "$out/calibration.json"
+    test -s "$out/trace.json" || { echo "missing trace output"; exit 1; }
+    grep -q '"traceEvents"' "$out/trace.json" || { echo "trace is not Chrome-trace JSON"; exit 1; }
+    echo "== telemetry_report --validate on the emitted record =="
+    # Wrap the single bench record as a one-element aggregate and validate
+    # both layers of the schema with the repo's own validator.
+    printf '{"schema":"rapid-bench-aggregate-v1","records":[%s]}' \
+        "$(cat "$out/calibration.json")" > "$out/aggregate.json"
+    ./target/release/telemetry_report "$out/aggregate.json" --validate
+}
+
 if [[ "${1:-}" == "--recovery" ]]; then
     recovery_gate
     echo "Recovery checks passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--telemetry" ]]; then
+    telemetry_gate
+    echo "Telemetry checks passed."
     exit 0
 fi
 
@@ -35,5 +65,6 @@ echo "== fault_sweep --smoke (hard 120s timeout) =="
 timeout 120 ./target/release/fault_sweep --smoke
 
 recovery_gate
+telemetry_gate
 
 echo "All checks passed."
