@@ -63,6 +63,7 @@ impl ChipFloorplan {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -45,7 +45,9 @@ pub mod geometry;
 pub mod isa;
 pub mod power;
 pub mod precision;
+pub mod protection;
 
 pub use geometry::{ChipConfig, CoreConfig, CoreletConfig, MpeConfig, SystemConfig};
 pub use power::{PowerModel, ThrottleModel, VfCurve};
 pub use precision::Precision;
+pub use protection::ProtectionParams;

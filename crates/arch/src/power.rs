@@ -236,6 +236,7 @@ impl ThrottleModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::geometry::ChipConfig;

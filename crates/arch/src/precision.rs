@@ -123,6 +123,7 @@ impl std::fmt::Display for Precision {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

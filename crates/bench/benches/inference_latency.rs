@@ -2,6 +2,8 @@
 //! inference for representative benchmarks at each precision (the harness
 //! itself must stay fast enough for design-space exploration, §IV-B).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // benches fail loudly by design
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rapid_arch::geometry::ChipConfig;
 use rapid_arch::precision::Precision;

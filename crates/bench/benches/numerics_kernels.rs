@@ -3,6 +3,8 @@
 //! throughput at simulator-relevant sizes (the gate for the fast-path
 //! speedup claims — see DESIGN.md "Performance engineering").
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // benches fail loudly by design
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rapid_numerics::accumulate::dot_chunked;
 use rapid_numerics::fma::{fma, FmaMode};

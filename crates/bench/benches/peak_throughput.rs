@@ -2,6 +2,8 @@
 //! precision, confirming the architected ratios (HFP8 2×, INT4 8× the
 //! FP16 MAC rate) hold in the functional pipelines too.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // benches fail loudly by design
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::gemm::{matmul_emulated, matmul_int};

@@ -1,6 +1,8 @@
 //! Criterion bench behind E11: ring-simulator throughput for unicast,
 //! multicast and aggregated memory reads.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // benches fail loudly by design
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rapid_ring::sim::{memory_read, multicast, unicast, RingSim};
 use std::hint::black_box;

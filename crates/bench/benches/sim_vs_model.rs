@@ -2,6 +2,8 @@
 //! evaluating the analytical mapping for the same shape (the model must be
 //! orders of magnitude cheaper — that is why the compiler's DSE uses it).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // benches fail loudly by design
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rapid_arch::geometry::CoreletConfig;
 use rapid_arch::precision::Precision;

@@ -1,6 +1,8 @@
 //! Criterion bench behind Fig 15: the training-step evaluator on the
 //! 4 × 32-core system at FP16 and HFP8.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // benches fail loudly by design
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rapid_arch::geometry::SystemConfig;
 use rapid_arch::precision::Precision;

@@ -52,6 +52,7 @@ fn main() -> ExitCode {
         "energy_breakdown",
         "fault_sweep",
         "recovery_sweep",
+        "protection_sweep",
     ];
     // Each experiment gets its own child fault seed derived from the
     // master, so adding an experiment never perturbs another's streams.

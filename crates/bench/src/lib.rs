@@ -136,7 +136,7 @@ pub fn try_par_map<T: Sync, U: Send>(
             });
         }
     })
-    .expect("pool workers catch panics; the scope itself cannot fail");
+    .unwrap_or_else(|_| unreachable!("pool workers catch panics; the scope itself cannot fail"));
     let mut v = results.into_inner();
     v.sort_by_key(|&(i, _)| i);
     v.into_iter().map(|(_, r)| r).collect()
@@ -183,6 +183,7 @@ pub fn min_max(v: &[f64]) -> (f64, f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -172,6 +172,7 @@ impl BenchRecord {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_telemetry::validate_bench_record;

@@ -70,7 +70,7 @@ pub fn mixed_precision_frontier(
             (i, layer_benefit(net, i, target, chip) / macs as f64, macs)
         })
         .collect();
-    candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite benefits"));
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
     let total_q_macs: u64 = candidates.iter().map(|c| c.2).sum();
 
     fractions
@@ -110,6 +110,7 @@ pub fn mixed_precision_frontier(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_workloads::suite::benchmark;

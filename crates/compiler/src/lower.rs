@@ -40,6 +40,7 @@ pub struct LoweredGemm {
 /// # Panics
 ///
 /// Panics on a degenerate GEMM or an SFU-only precision.
+#[allow(clippy::expect_used)] // scratchpad addressing fits u32 by geometry
 pub fn lower_gemm(
     m: u64,
     k: u64,
@@ -136,6 +137,7 @@ pub fn verify_against_mapping(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

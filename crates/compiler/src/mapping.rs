@@ -122,6 +122,7 @@ pub fn map_layer(
     n_corelets: u32,
 ) -> MappingCost {
     assert!(n_corelets > 0, "need at least one corelet");
+    #[allow(clippy::expect_used)] // caller filters to compute ops (documented)
     let v = view_of(op, batch).expect("auxiliary ops do not map to the MPE array");
     let co_split = map_with_split(&v, op, precision, batch, corelet, n_corelets, Split::OutputChannels);
     let sp_split = map_with_split(&v, op, precision, batch, corelet, n_corelets, Split::Spatial);
@@ -172,7 +173,7 @@ fn map_with_split(
             }
             let worst = (0..n_corelets as usize)
                 .max_by_key(|&c| (counts[c], widths[c]))
-                .expect("at least one corelet");
+                .unwrap_or(0);
             (counts[worst], widths[worst], v.stream)
         }
         Split::Spatial => {
@@ -218,6 +219,7 @@ fn map_with_split(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

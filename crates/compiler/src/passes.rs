@@ -91,6 +91,7 @@ fn storage_bytes(p: Precision) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_workloads::{cnn, suite};

@@ -156,11 +156,21 @@ pub struct FaultConfig {
     pub ring_delay_rate: f64,
     /// How many cycles a delayed flit is held.
     pub ring_delay_cycles: u32,
+    /// Probability (per occupied slot per cycle) that a delivered chunk's
+    /// payload has one bit flipped in transit. With CRC protection the
+    /// receiver detects the damage and forces a retransmit; without it the
+    /// corrupted payload is *silently delivered*.
+    pub ring_corrupt_rate: f64,
     /// Probability (per core cycle) that the sequencers' token grants
     /// stall.
     pub seq_stall_rate: f64,
     /// How many cycles a sequencer stall lasts.
     pub seq_stall_cycles: u32,
+    /// Probability (per core cycle) that one stored scratchpad word has a
+    /// single bit upset — the classic SRAM soft-error model SECDED ECC is
+    /// built to absorb. The flip hits a uniformly chosen word and a
+    /// uniformly chosen bit of its 39-bit SECDED codeword.
+    pub spad_flip_rate: f64,
     /// Bitmask of permanently failed cores (bit `i` set ⇒ core `i` is
     /// dead). A failed core takes no work: the chip-level simulators remap
     /// its partition across the survivors and the analytical model charges
@@ -182,8 +192,10 @@ impl Default for FaultConfig {
             ring_dup_rate: 0.0,
             ring_delay_rate: 0.0,
             ring_delay_cycles: 8,
+            ring_corrupt_rate: 0.0,
             seq_stall_rate: 0.0,
             seq_stall_cycles: 32,
+            spad_flip_rate: 0.0,
             core_failed_mask: 0,
             max_trace_events: 4096,
         }
@@ -208,7 +220,9 @@ impl FaultConfig {
             || self.ring_drop_rate > 0.0
             || self.ring_dup_rate > 0.0
             || self.ring_delay_rate > 0.0
+            || self.ring_corrupt_rate > 0.0
             || self.seq_stall_rate > 0.0
+            || self.spad_flip_rate > 0.0
             || self.core_failed_mask != 0
     }
 
@@ -247,8 +261,12 @@ pub enum FaultEvent {
     RingDelivery(u64, DeliveryFault),
     /// A ring slot held for `cycles` at draw index `site`.
     RingHold(u64, u32),
+    /// A ring payload corruption: `(site index, element, bit)`.
+    RingCorrupt(u64, u32, u32),
     /// A sequencer token-grant stall of `cycles` at draw index `site`.
     SeqStall(u64, u32),
+    /// A scratchpad soft error: `(site index, word address, codeword bit)`.
+    SpadFlip(u64, u64, u32),
 }
 
 /// Totals per injector, cheap to compare and report.
@@ -268,8 +286,12 @@ pub struct FaultCounts {
     pub ring_dups: u64,
     /// Ring slots held.
     pub ring_holds: u64,
+    /// Ring payloads corrupted in transit.
+    pub ring_corruptions: u64,
     /// Sequencer stalls injected.
     pub seq_stalls: u64,
+    /// Scratchpad word bit upsets injected.
+    pub spad_flips: u64,
 }
 
 impl FaultCounts {
@@ -283,7 +305,9 @@ impl FaultCounts {
         reg.add(&format!("{prefix}.ring_drops"), self.ring_drops);
         reg.add(&format!("{prefix}.ring_dups"), self.ring_dups);
         reg.add(&format!("{prefix}.ring_holds"), self.ring_holds);
+        reg.add(&format!("{prefix}.ring_corruptions"), self.ring_corruptions);
         reg.add(&format!("{prefix}.seq_stalls"), self.seq_stalls);
+        reg.add(&format!("{prefix}.spad_flips"), self.spad_flips);
     }
 }
 
@@ -291,7 +315,7 @@ impl fmt::Display for FaultCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held; {} seq stalls",
+            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips",
             self.mac_operand_flips,
             self.mac_acc_flips,
             self.int_code_flips,
@@ -299,7 +323,9 @@ impl fmt::Display for FaultCounts {
             self.ring_drops,
             self.ring_dups,
             self.ring_holds,
+            self.ring_corruptions,
             self.seq_stalls,
+            self.spad_flips,
         )
     }
 }
@@ -316,9 +342,11 @@ pub struct FaultPlan {
     mac_rng: XorShift64,
     ring_rng: XorShift64,
     seq_rng: XorShift64,
+    mem_rng: XorShift64,
     mac_sites: u64,
     ring_sites: u64,
     seq_sites: u64,
+    mem_sites: u64,
     trace: Vec<FaultEvent>,
     counts: FaultCounts,
 }
@@ -332,9 +360,11 @@ impl FaultPlan {
             mac_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x004D_4143),
             ring_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5249_4E47),
             seq_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0053_4551),
+            mem_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x004D_454D),
             mac_sites: 0,
             ring_sites: 0,
             seq_sites: 0,
+            mem_sites: 0,
             trace: Vec::new(),
             counts: FaultCounts::default(),
         }
@@ -370,6 +400,16 @@ impl FaultPlan {
     /// Whether the sequencer-stall injector can fire.
     pub fn seq_enabled(&self) -> bool {
         self.cfg.seq_stall_rate > 0.0
+    }
+
+    /// Whether the scratchpad soft-error injector can fire.
+    pub fn spad_enabled(&self) -> bool {
+        self.cfg.spad_flip_rate > 0.0
+    }
+
+    /// Whether the ring payload-corruption injector can fire.
+    pub fn ring_corrupt_enabled(&self) -> bool {
+        self.cfg.ring_corrupt_rate > 0.0
     }
 
     /// Whether core `i` is marked permanently failed by this plan.
@@ -495,6 +535,40 @@ impl FaultPlan {
         }
     }
 
+    /// Draws whether one delivered chunk payload is corrupted in transit:
+    /// `Some((element, bit))` flips bit `bit` of payload element `element`
+    /// (of `elems` f32 elements). The transport layer decides what that
+    /// means — a CRC-protected link detects it and retransmits; an
+    /// unprotected link delivers the damage silently.
+    pub fn ring_corrupt(&mut self, elems: u32) -> Option<(u32, u32)> {
+        self.ring_sites += 1;
+        if elems == 0 || !self.ring_rng.chance(self.cfg.ring_corrupt_rate) {
+            return None;
+        }
+        let elem = self.ring_rng.below(elems);
+        let bit = self.ring_rng.below(32);
+        self.counts.ring_corruptions += 1;
+        self.record(FaultEvent::RingCorrupt(self.ring_sites - 1, elem, bit));
+        Some((elem, bit))
+    }
+
+    /// Draws whether one scratchpad word suffers a soft error this cycle:
+    /// `Some((addr, bit))` flips bit `bit` (of the 39-bit SECDED codeword:
+    /// 0..32 data, 32..38 check, 38 overall parity) of word `addr` (below
+    /// `words`). The memory decides the outcome — with ECC the next read
+    /// corrects it; without, the damaged value is returned as stored.
+    pub fn spad_flip(&mut self, words: u64) -> Option<(u64, u32)> {
+        self.mem_sites += 1;
+        if words == 0 || !self.mem_rng.chance(self.cfg.spad_flip_rate) {
+            return None;
+        }
+        let addr = self.mem_rng.next_u64() % words;
+        let bit = self.mem_rng.below(39);
+        self.counts.spad_flips += 1;
+        self.record(FaultEvent::SpadFlip(self.mem_sites - 1, addr, bit));
+        Some((addr, bit))
+    }
+
     /// Draws whether the sequencers stall this cycle, and for how long.
     pub fn seq_stall(&mut self) -> Option<u32> {
         self.seq_sites += 1;
@@ -510,6 +584,7 @@ impl FaultPlan {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -525,7 +600,9 @@ mod tests {
             assert_eq!(plan.int_chunk(i as i16), i as i16);
             assert_eq!(plan.ring_delivery(), None);
             assert_eq!(plan.ring_hold(), None);
+            assert_eq!(plan.ring_corrupt(1024), None);
             assert_eq!(plan.seq_stall(), None);
+            assert_eq!(plan.spad_flip(4096), None);
         }
         assert_eq!(plan.counts(), FaultCounts::default());
         assert!(plan.trace().is_empty());
@@ -647,6 +724,44 @@ mod tests {
         assert_eq!(plan.failed_cores(4), vec![0, 2]);
         assert_eq!(plan.failed_cores(2), vec![0]);
         assert!(!FaultPlan::disabled().core_failed(0));
+    }
+
+    #[test]
+    fn spad_and_corrupt_injectors_are_deterministic_and_in_range() {
+        let cfg = FaultConfig {
+            seed: 21,
+            spad_flip_rate: 0.3,
+            ring_corrupt_rate: 0.2,
+            ..FaultConfig::default()
+        };
+        let run = |cfg| {
+            let mut plan = FaultPlan::new(cfg);
+            let flips: Vec<_> = (0..400).map(|_| plan.spad_flip(128)).collect();
+            let corr: Vec<_> = (0..400).map(|_| plan.ring_corrupt(64)).collect();
+            (flips, corr, plan.counts())
+        };
+        let (f1, c1, n1) = run(cfg);
+        let (f2, c2, n2) = run(cfg);
+        assert_eq!(f1, f2);
+        assert_eq!(c1, c2);
+        assert_eq!(n1, n2);
+        assert!(n1.spad_flips > 50, "{n1}");
+        assert!(n1.ring_corruptions > 30, "{n1}");
+        for (addr, bit) in f1.into_iter().flatten() {
+            assert!(addr < 128 && bit < 39);
+        }
+        for (elem, bit) in c1.into_iter().flatten() {
+            assert!(elem < 64 && bit < 32);
+        }
+        // The memory stream must be decoupled from the MAC stream.
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for i in 0..100 {
+            a.mac_operand(i as f32);
+        }
+        let fa: Vec<_> = (0..64).map(|_| a.spad_flip(128)).collect();
+        let fb: Vec<_> = (0..64).map(|_| b.spad_flip(128)).collect();
+        assert_eq!(fa, fb);
     }
 
     #[test]

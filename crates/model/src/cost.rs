@@ -144,6 +144,7 @@ pub fn elem_bytes(p: Precision) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

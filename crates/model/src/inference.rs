@@ -177,6 +177,7 @@ pub fn evaluate_inference(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_compiler::passes::{compile, CompileOptions};

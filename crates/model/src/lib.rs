@@ -39,6 +39,7 @@
 
 pub mod cost;
 pub mod inference;
+pub mod protection;
 pub mod report;
 pub mod scaling;
 pub mod throttle;
@@ -46,6 +47,7 @@ pub mod training;
 
 pub use cost::{CycleBreakdown, EnergyLedger, ModelConfig};
 pub use inference::{evaluate_inference, InferenceResult};
+pub use protection::{protection_tax, ProtectionTax};
 pub use report::{layer_reports, LayerReport};
 pub use scaling::{
     degraded_throughput, inference_core_scaling, training_chip_scaling, DegradedPoint, ScalePoint,

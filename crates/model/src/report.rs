@@ -228,6 +228,7 @@ pub fn layer_reports(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_compiler::passes::{compile, CompileOptions};

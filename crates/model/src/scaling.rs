@@ -112,6 +112,7 @@ pub fn training_chip_scaling(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_workloads::suite::benchmark;

@@ -73,6 +73,7 @@ pub fn throttling_study(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_workloads::suite::{apply_pruning_profile, benchmark};

@@ -230,6 +230,7 @@ pub fn evaluate_training(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_workloads::suite::benchmark;

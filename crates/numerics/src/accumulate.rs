@@ -146,6 +146,7 @@ pub fn dot_chunked(mode: FmaMode, a: &[f32], b: &[f32], chunk_len: usize) -> f32
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

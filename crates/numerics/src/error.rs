@@ -80,6 +80,7 @@ impl fmt::Display for NumericsError {
 impl Error for NumericsError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -55,6 +55,7 @@ impl FmaMode {
     }
 
     /// Input formats `(a, b)` for this mode.
+    #[allow(clippy::expect_used)] // bias values are validated at construction
     pub fn operand_formats(&self) -> (FpFormat, FpFormat) {
         match self {
             FmaMode::Fp16 => (FpFormat::fp16(), FpFormat::fp16()),
@@ -169,6 +170,7 @@ pub fn fma_simd(mode: FmaMode, acc: &mut [f32], a: &[f32], b: &[f32]) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -445,6 +445,7 @@ impl std::fmt::Display for FpFormat {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -219,6 +219,7 @@ fn par_rows(
             .map(|(t, band)| s.spawn(move || work(t * rows_per, band)))
             .collect();
         for h in handles {
+            #[allow(clippy::expect_used)] // re-raise a worker panic on the caller
             stats.merge(h.join().expect("gemm worker thread panicked"));
         }
     });
@@ -242,6 +243,7 @@ fn transposed_panels<T: Copy + Default>(src: &[T], rows: usize, cols: usize) -> 
 /// # Panics
 ///
 /// Panics if the shapes are not compatible rank-2 matrices.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn matmul_f32(a: &Tensor, b: &Tensor) -> Tensor {
     matmul_f32_checked(a, b).expect("incompatible matmul shapes")
 }
@@ -289,6 +291,7 @@ pub fn matmul_f32_checked(a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsErro
 /// # Panics
 ///
 /// Panics if the shapes are not compatible or `chunk_len == 0`.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn matmul_emulated(mode: FmaMode, a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, GemmStats) {
     matmul_emulated_checked(mode, a, b, chunk_len).expect("incompatible matmul shapes")
 }
@@ -365,6 +368,7 @@ fn lut_band(
     chunk_len: usize,
     band: &mut [f32],
 ) -> GemmStats {
+    #[allow(clippy::expect_used)] // LUT size is a construction invariant
     let products: &[f32; 1 << 16] = products.try_into().expect("product LUT is 64K entries");
     let rows = band.len() / n;
     let words = k.div_ceil(64);
@@ -421,6 +425,7 @@ fn dot_lut_block<const B: usize>(
     let mut prods = [0.0f32; B];
     for (p, &ca) in arow.iter().enumerate() {
         let base = usize::from(ca) << 8;
+        #[allow(clippy::expect_used)] // row stride is a construction invariant
         let prow: &[f32; 256] =
             products[base..base + 256].try_into().expect("256-entry LUT row");
         // Zero products (gated, or FP9 underflow under extreme biases) are
@@ -535,6 +540,7 @@ fn dot_fp16_block<const B: usize>(
 /// Scalar reference for [`matmul_emulated`]: drives a [`ChunkAccumulator`]
 /// one FMA at a time, exactly as the MPE datapath model does. The fast path
 /// must reproduce its output and statistics bit-for-bit.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn matmul_emulated_scalar(
     mode: FmaMode,
     a: &Tensor,
@@ -688,6 +694,7 @@ pub fn matmul_hfp8_bwd(a: &Tensor, b: &Tensor, chunk_len: usize) -> (Tensor, Gem
 /// # Panics
 ///
 /// Panics if the shapes are not compatible or `chunk_len == 0`.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn matmul_int(
     a: &Tensor,
     b: &Tensor,
@@ -750,6 +757,7 @@ pub fn matmul_int_checked(
 
 /// Scalar reference for [`matmul_int`]: drives an [`IntAccumulator`] per
 /// output element, including its saturating INT16 chunk register.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn matmul_int_scalar(
     a: &Tensor,
     b: &Tensor,
@@ -1103,6 +1111,7 @@ pub fn conv2d_f32(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
 }
 
 /// [`conv2d_f32`] reusing caller-provided scratch buffers.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn conv2d_f32_with_scratch(
     input: &Tensor,
     weight: &Tensor,
@@ -1128,6 +1137,7 @@ pub fn conv2d_emulated(
 }
 
 /// [`conv2d_emulated`] reusing caller-provided scratch buffers.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn conv2d_emulated_with_scratch(
     input: &Tensor,
     weight: &Tensor,
@@ -1144,6 +1154,7 @@ pub fn conv2d_emulated_with_scratch(
 
 /// Scalar reference for [`conv2d_emulated`] (scalar GEMM underneath); the
 /// fast convolution must match it bit-for-bit.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn conv2d_emulated_scalar(
     input: &Tensor,
     weight: &Tensor,
@@ -1170,6 +1181,7 @@ pub fn conv2d_int(
 }
 
 /// [`conv2d_int`] reusing caller-provided scratch buffers.
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn conv2d_int_with_scratch(
     input: &Tensor,
     weight: &Tensor,
@@ -1186,6 +1198,7 @@ pub fn conv2d_int_with_scratch(
 }
 
 /// Scalar reference for [`conv2d_int`] (scalar GEMM underneath).
+#[allow(clippy::expect_used)] // documented panic on bad shapes
 pub fn conv2d_int_scalar(
     input: &Tensor,
     weight: &Tensor,
@@ -1231,6 +1244,7 @@ fn conv2d_via_gemm(
     let ho = spec.out_dim(h, kh);
     let wo = spec.out_dim(w, kw);
     im2col_into(input, kh, kw, spec, &mut scratch.cols);
+    #[allow(clippy::expect_used)] // reshape cannot fail: same element count
     let wmat = weight
         .clone()
         .reshape(vec![co, ci * kh * kw])
@@ -1255,6 +1269,7 @@ fn conv2d_via_gemm(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::format::fp16_round;

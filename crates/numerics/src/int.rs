@@ -319,6 +319,7 @@ pub fn unpack_codes(format: IntFormat, bytes: &[u8], len: usize) -> Vec<i8> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -56,6 +56,7 @@
 //! assert_eq!(stats.macs, 12);
 //! ```
 
+pub mod abft;
 pub mod accumulate;
 pub mod error;
 pub mod fma;
@@ -69,6 +70,7 @@ pub mod sfu;
 pub mod tensor;
 pub mod types;
 
+pub use abft::{abft_matmul_emulated, abft_matmul_int, AbftReport};
 pub use error::NumericsError;
 pub use format::FpFormat;
 pub use guard::GuardPolicy;

@@ -112,6 +112,7 @@ pub fn product_lut(fa: FpFormat, fb: FpFormat) -> Arc<ProductLut> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

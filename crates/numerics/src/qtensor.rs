@@ -86,6 +86,7 @@ fn lattice_code8(fmt: FpFormat, v: f32) -> u8 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -130,6 +130,7 @@ fn reciprocal_exact_enough(x: f32, acc: SfuAccuracy) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

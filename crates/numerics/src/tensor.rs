@@ -247,6 +247,7 @@ impl FromIterator<f32> for Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

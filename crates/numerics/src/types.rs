@@ -126,6 +126,7 @@ fp_newtype!(
 );
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -5,6 +5,8 @@
 //! paths must produce the same output bits and the same `GemmStats` as the
 //! scalar accumulator-driven references.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use proptest::prelude::*;
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::format::FpFormat;

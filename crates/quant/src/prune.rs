@@ -15,7 +15,7 @@ pub fn magnitude_prune(w: &Tensor, sparsity: f64) -> (Tensor, f64) {
         return (w.clone(), w.sparsity());
     }
     let mut mags: Vec<f32> = w.as_slice().iter().map(|x| x.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).expect("weights must not be NaN"));
+    mags.sort_by(f32::total_cmp);
     let k = ((w.len() as f64 * sparsity).round() as usize).min(w.len());
     if k == 0 {
         return (w.clone(), w.sparsity());
@@ -41,6 +41,7 @@ pub fn gradual_sparsity(sf: f64, t: u64, t0: u64, t1: u64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -77,6 +77,7 @@ pub fn mse_optimal_alpha(w: &Tensor, format: IntFormat) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rand::{rngs::StdRng, Rng, SeedableRng};

@@ -8,6 +8,7 @@
 //! off the loss scale, roll back if it keeps happening.
 
 use rapid_fault::{FaultConfig, FaultCounts, FaultPlan};
+use rapid_numerics::abft::{abft_matmul_emulated, AbftReport};
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::gemm::{matmul_emulated_guarded, GemmStats};
 use rapid_numerics::{GuardPolicy, NumericsError, Tensor};
@@ -17,6 +18,43 @@ use std::cell::RefCell;
 
 /// The registry prefix this backend's GEMM statistics accumulate under.
 pub const BACKEND_METRIC_PREFIX: &str = "recover.gemm";
+
+/// The registry prefix ABFT reports accumulate under when
+/// [`Protection::Abft`] is active.
+pub const ABFT_METRIC_PREFIX: &str = "recover.abft";
+
+/// How a backend protects its datapath against injected faults.
+///
+/// The resilient training loop composes with all three: `None` relies
+/// purely on guards + skip/rollback, `Redundancy(r)` votes `r` executions
+/// elementwise (PR 3's brute-force baseline, a `r`× compute tax), and
+/// `Abft` runs every GEMM through the Huang–Abraham checksum scheme which
+/// detects and repairs faulty elements at O(m+n) extra work per product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protection {
+    /// No datapath protection beyond the numeric guards.
+    None,
+    /// Execute each step `r` times and vote elementwise (r ≥ 1).
+    Redundancy(u32),
+    /// Checksum-protected GEMMs: detect + correct in the kernel itself.
+    Abft,
+}
+
+impl Protection {
+    /// How many redundant executions the training loop should run: 1 for
+    /// every mode except `Redundancy(r)`.
+    pub fn redundancy(&self) -> u32 {
+        match self {
+            Protection::Redundancy(r) => (*r).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Whether GEMMs run under ABFT checksums.
+    pub fn abft(&self) -> bool {
+        matches!(self, Protection::Abft)
+    }
+}
 
 /// HFP8 backend with a seeded fault plan spliced into every GEMM and a
 /// configurable guard policy. The `Backend` trait takes `&self`, so the
@@ -30,6 +68,7 @@ pub const BACKEND_METRIC_PREFIX: &str = "recover.gemm";
 pub struct GuardedHfp8Backend {
     chunk_len: usize,
     policy: GuardPolicy,
+    protection: Protection,
     plan: RefCell<FaultPlan>,
     metrics: RefCell<MetricsRegistry>,
 }
@@ -41,9 +80,24 @@ impl GuardedHfp8Backend {
         Self {
             chunk_len: 64,
             policy,
+            protection: Protection::None,
             plan: RefCell::new(FaultPlan::new(cfg)),
             metrics: RefCell::new(MetricsRegistry::new()),
         }
+    }
+
+    /// Selects the datapath protection mode (default [`Protection::None`]).
+    /// Under [`Protection::Abft`] every GEMM runs the checksum-protected
+    /// kernel: faults are repaired inside the call and the guard policy
+    /// only sees what ABFT could not express (shape errors).
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// The datapath protection mode in force.
+    pub fn protection(&self) -> Protection {
+        self.protection
     }
 
     /// Overrides the accumulation chunk length.
@@ -88,10 +142,22 @@ impl GuardedHfp8Backend {
         *mine = MetricsRegistry::new();
     }
 
+    /// Accumulated ABFT observations (zero unless [`Protection::Abft`]).
+    pub fn abft_report(&self) -> AbftReport {
+        AbftReport::from_registry(&self.metrics.borrow(), ABFT_METRIC_PREFIX)
+    }
+
     fn guarded(&self, mode: FmaMode, a: &Tensor, b: &Tensor) -> Result<Tensor, NumericsError> {
         let mut plan = self.plan.borrow_mut();
-        let (c, stats) =
-            matmul_emulated_guarded(mode, a, b, self.chunk_len, self.policy, Some(&mut plan))?;
+        let (c, stats) = if self.protection.abft() {
+            let (c, stats, report) =
+                abft_matmul_emulated(mode, a, b, self.chunk_len, Some(&mut plan))?;
+            let mut reg = self.metrics.borrow_mut();
+            report.record_into(&mut reg, ABFT_METRIC_PREFIX);
+            (c, stats)
+        } else {
+            matmul_emulated_guarded(mode, a, b, self.chunk_len, self.policy, Some(&mut plan))?
+        };
         let mut reg = self.metrics.borrow_mut();
         stats.record_into(&mut reg, BACKEND_METRIC_PREFIX);
         reg.incr("recover.gemm.calls");
@@ -181,5 +247,73 @@ mod tests {
             sat_be.stats()
         );
         assert!(sat_be.counts().mac_acc_flips > 0);
+    }
+
+    #[test]
+    fn abft_protection_absorbs_faults_the_error_guard_would_trip_on() {
+        use rapid_numerics::abft::fp_tolerance_factor;
+        use rapid_numerics::gemm::matmul_emulated;
+
+        let (a, b) = mats();
+        let cfg = FaultConfig { seed: 9, mac_acc_rate: 0.05, ..FaultConfig::default() };
+        let be = GuardedHfp8Backend::new(cfg, GuardPolicy::Error)
+            .with_protection(Protection::Abft);
+        let mode = FmaMode::hfp8_fwd_default();
+        let (clean, _) = matmul_emulated(mode, &a, &b, 64);
+        // The FP contract: after ABFT every element is bit-exact clean or
+        // within the checksum detector's rounding envelope of it —
+        // anything larger was flagged and repaired. Non-finites and
+        // exponent upsets can never survive.
+        let (fa, fb) = mode.operand_formats();
+        let (k, n) = (a.shape()[1], b.shape()[1]);
+        let qa: Vec<f64> =
+            a.as_slice().iter().map(|&x| f64::from(fa.quantize(x).abs())).collect();
+        let qb: Vec<f64> =
+            b.as_slice().iter().map(|&x| f64::from(fb.quantize(x).abs())).collect();
+        let tol = fp_tolerance_factor(k, 64);
+        for _ in 0..32 {
+            let r = be
+                .try_matmul(&a, &b, (OperandRole::Data, OperandRole::Data))
+                .expect("ABFT must repair instead of trip");
+            for (i, (row_got, row_clean)) in
+                r.as_slice().chunks(n).zip(clean.as_slice().chunks(n)).enumerate()
+            {
+                let envelope: f64 =
+                    (0..k).map(|p| qa[i * k + p] * (0..n).map(|j| qb[p * n + j]).sum::<f64>()).sum();
+                for (&got, &want) in row_got.iter().zip(row_clean) {
+                    assert!(got.is_finite());
+                    // 2× the detector tolerance: a surviving fault can hide
+                    // behind up to one tolerance of legitimate rounding
+                    // residual on top of its own sub-tolerance magnitude.
+                    assert!(
+                        got.to_bits() == want.to_bits()
+                            || f64::from((got - want).abs()) <= 2.0 * tol * envelope,
+                        "row {i}: got {got}, clean {want}, envelope {envelope}"
+                    );
+                }
+            }
+        }
+        let rep = be.abft_report();
+        assert!(rep.corrections > 0, "5% flip rate must exercise repair: {rep:?}");
+        // Analytical cap: checksums cost 2(mk+kn+mn) MACs per call and the
+        // union repair recomputes at most every output cell (one extra base).
+        // The 4×8×4 test matrices are tiny, so the checksum share dominates;
+        // real layer shapes amortise to ~1.0x (see the protection sweep).
+        let m = a.shape()[0];
+        let cap = 2.0 + 2.0 * ((m * k + k * n + m * n) as f64) / ((m * k * n) as f64);
+        assert!(rep.overhead_ratio() <= cap, "{} > {cap}", rep.overhead_ratio());
+        assert!(be.metrics().counter("recover.abft.corrections") > 0);
+    }
+
+    #[test]
+    fn protection_modes_report_their_cost_shape() {
+        assert_eq!(Protection::None.redundancy(), 1);
+        assert_eq!(Protection::Redundancy(3).redundancy(), 3);
+        assert_eq!(Protection::Redundancy(0).redundancy(), 1, "clamped to ≥1");
+        assert_eq!(Protection::Abft.redundancy(), 1);
+        assert!(Protection::Abft.abft());
+        assert!(!Protection::Redundancy(3).abft());
+        let be = GuardedHfp8Backend::new(FaultConfig::default(), GuardPolicy::Error);
+        assert_eq!(be.protection(), Protection::None);
     }
 }

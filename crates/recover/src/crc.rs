@@ -34,6 +34,7 @@ pub fn crc32(data: &[u8]) -> u32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -58,7 +58,7 @@
 //! [`GuardPolicy::Error`]: rapid_numerics::GuardPolicy
 //! [`GemmStats`]: rapid_numerics::gemm::GemmStats
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// unwrap/expect denial comes from [workspace.lints] in the root manifest.
 
 pub mod backend;
 pub mod checkpoint;
@@ -66,7 +66,7 @@ pub mod crc;
 pub mod scaler;
 pub mod train;
 
-pub use backend::{GuardedHfp8Backend, BACKEND_METRIC_PREFIX};
+pub use backend::{GuardedHfp8Backend, Protection, ABFT_METRIC_PREFIX, BACKEND_METRIC_PREFIX};
 pub use checkpoint::{CheckpointError, CheckpointStore, LayerState, TrainState};
 pub use crc::crc32;
 pub use scaler::DynamicLossScaler;

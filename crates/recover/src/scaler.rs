@@ -30,7 +30,10 @@ impl Default for DynamicLossScaler {
 }
 
 impl DynamicLossScaler {
-    /// Creates a scaler starting at `initial_scale`.
+    /// Creates a scaler starting at `initial_scale`, clamped into the
+    /// documented `[1, 65536]` range — the floor of 1 is an invariant from
+    /// construction on, not just an `on_overflow` stop: a sub-1 initial
+    /// scale would otherwise sit below the floor until the first back-off.
     ///
     /// # Panics
     ///
@@ -40,14 +43,15 @@ impl DynamicLossScaler {
             initial_scale.is_finite() && initial_scale > 0.0,
             "loss scale must be positive"
         );
+        let (min_scale, max_scale) = (1.0, 65_536.0);
         Self {
-            scale: initial_scale,
+            scale: initial_scale.clamp(min_scale, max_scale),
             growth: 2.0,
             backoff: 0.5,
             growth_interval: 64,
             good_steps: 0,
-            min_scale: 1.0,
-            max_scale: 65_536.0,
+            min_scale,
+            max_scale,
         }
     }
 
@@ -98,6 +102,7 @@ impl DynamicLossScaler {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -124,6 +129,29 @@ mod tests {
             s.on_success();
         }
         assert_eq!(s.scale(), 65_536.0, "ceiling holds");
+    }
+
+    #[test]
+    fn floor_holds_at_the_boundary_from_construction() {
+        // Regression: a sub-1 initial scale used to sit below the
+        // documented floor of 1 until the first back-off. The floor must
+        // hold from construction and under any number of consecutive
+        // guard trips — including the boundary case of starting exactly
+        // at the floor.
+        let mut s = DynamicLossScaler::new(0.5);
+        assert_eq!(s.scale(), 1.0, "construction clamps to the floor");
+        for trips in 1..=200 {
+            s.on_overflow();
+            assert!(s.scale() >= 1.0, "floor violated after {trips} consecutive trips");
+        }
+        assert_eq!(s.scale(), 1.0);
+        // Starting just above the floor: one trip lands exactly on it,
+        // never below.
+        let mut t = DynamicLossScaler::new(1.0 + f32::EPSILON);
+        t.on_overflow();
+        assert_eq!(t.scale(), 1.0);
+        t.on_overflow();
+        assert_eq!(t.scale(), 1.0);
     }
 
     #[test]

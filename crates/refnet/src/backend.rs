@@ -40,6 +40,7 @@ pub trait Backend {
     /// # Panics
     ///
     /// Panics if the operand shapes are incompatible.
+    #[allow(clippy::expect_used)] // documented panic on bad shapes
     fn matmul(&self, a: &Tensor, b: &Tensor, roles: (OperandRole, OperandRole)) -> Tensor {
         self.try_matmul(a, b, roles).expect("incompatible matmul shapes")
     }
@@ -154,6 +155,7 @@ impl Backend for Hfp8Backend {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_numerics::gemm::matmul_f32;

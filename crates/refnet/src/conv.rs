@@ -64,7 +64,7 @@ impl Conv2d {
             .w
             .clone()
             .reshape(vec![co, self.cols.shape()[1]])
-            .expect("weight reshape is size-preserving")
+            .unwrap_or_else(|_| unreachable!("weight reshape is size-preserving"))
             .transposed(); // [ci*k*k, co]
         let flat = backend.matmul(&self.cols, &wmat, (OperandRole::Data, OperandRole::Data));
         // [n*ho*wo, co] → [n, co, ho, wo] with bias.
@@ -112,7 +112,7 @@ impl Conv2d {
             .w
             .clone()
             .reshape(vec![co, colsw])
-            .expect("size-preserving");
+            .unwrap_or_else(|_| unreachable!("weight reshape is size-preserving"));
         let dcols = backend.matmul(&gflat, &wmat, (OperandRole::Error, OperandRole::Data));
         // Fold dCols back to the input (col2im).
         let (ci, h, w) = (self.in_shape[1], self.in_shape[2], self.in_shape[3]);
@@ -327,6 +327,7 @@ pub fn pattern_images(n: usize, classes: usize, noise: f32, seed: u64) -> (Tenso
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::backend::{Fp32Backend, Hfp8Backend};

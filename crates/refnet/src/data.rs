@@ -91,6 +91,7 @@ pub fn two_spirals(n: usize, dim: usize, noise: f32, seed: u64) -> Dataset {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -258,6 +258,7 @@ pub fn parity_sequences(n: usize, t: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<us
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::backend::{Fp32Backend, Hfp8Backend};

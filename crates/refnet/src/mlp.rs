@@ -296,6 +296,7 @@ pub fn train(mlp: &mut Mlp, backend: &dyn Backend, data: &Dataset, cfg: &TrainCo
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::backend::{Fp16Backend, Fp32Backend, Hfp8Backend};

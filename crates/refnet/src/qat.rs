@@ -278,6 +278,7 @@ pub fn train_qat_with(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::data::gaussian_blobs;

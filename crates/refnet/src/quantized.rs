@@ -68,6 +68,7 @@ impl QuantizedMlp {
     ///
     /// Panics if `x` is not `[n, features]` for the model's input width;
     /// use [`QuantizedMlp::try_infer`] to get an error instead.
+    #[allow(clippy::expect_used)] // documented panic; try_infer is the fallible path
     pub fn infer(&self, x: &Tensor) -> Tensor {
         self.try_infer(x).expect("input shape incompatible with the model")
     }
@@ -119,12 +120,13 @@ fn percentile_abs(x: &Tensor, q: f64) -> f32 {
         return 0.0;
     }
     let mut mags: Vec<f32> = x.as_slice().iter().map(|v| v.abs()).collect();
-    mags.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in activations"));
+    mags.sort_by(f32::total_cmp);
     let idx = ((mags.len() as f64 - 1.0) * q).round() as usize;
     mags[idx]
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::data::gaussian_blobs;

@@ -35,15 +35,17 @@
 //! # Ok::<(), rapid_ring::sim::RingTimeout>(())
 //! ```
 
-#![warn(clippy::unwrap_used, clippy::expect_used)]
+// unwrap/expect denial comes from [workspace.lints] in the root manifest.
 
 pub mod allreduce;
 pub mod channel;
+pub mod crc;
 pub mod node;
 pub mod reliable;
 pub mod sim;
 
 pub use allreduce::{analytic_allreduce_cycles, simulate_allreduce, AllReduceConfig, AllReduceResult};
+pub use crc::{crc8, crc8_f32, CRC8_POLY};
 pub use reliable::{
     reliable_allreduce, reliable_allreduce_instrumented, ReliableConfig, ReliableError, RingHealth,
 };

@@ -58,6 +58,12 @@ pub struct ReliableConfig {
     /// Cap on the backoff exponent (backoff = `timeout · 2^min(retries,
     /// cap)`).
     pub backoff_cap: u32,
+    /// Whether chunks carry a CRC-8 over their payload (see
+    /// [`crate::crc`]). With CRC on, an in-transit payload corruption is
+    /// detected on delivery and the chunk retransmitted immediately (no
+    /// timeout wait — the receiver nacks); with CRC off the damaged
+    /// payload is **silently delivered** and lands in the reduced values.
+    pub crc: bool,
 }
 
 impl ReliableConfig {
@@ -70,6 +76,7 @@ impl ReliableConfig {
             timeout_cycles: 600,
             max_retries: 8,
             backoff_cap: 5,
+            crc: true,
         }
     }
 }
@@ -87,6 +94,12 @@ pub struct RingHealth {
     pub duplicates_discarded: u64,
     /// Deliveries held late by slot faults.
     pub holds: u64,
+    /// Chunks whose payload CRC mismatched on delivery and were
+    /// retransmitted (CRC protection on).
+    pub crc_retransmits: u64,
+    /// Corrupted payloads delivered without detection (CRC protection
+    /// off). Nonzero means the reduced values are damaged.
+    pub silent_corruptions: u64,
     /// Largest backoff any chunk waited, in cycles.
     pub max_backoff_cycles: u64,
     /// Cycles the exchange took under faults.
@@ -121,6 +134,8 @@ impl RingHealth {
         reg.add(&format!("{prefix}.retransmits"), self.retransmits);
         reg.add(&format!("{prefix}.duplicates_discarded"), self.duplicates_discarded);
         reg.add(&format!("{prefix}.holds"), self.holds);
+        reg.add(&format!("{prefix}.crc_retransmits"), self.crc_retransmits);
+        reg.add(&format!("{prefix}.silent_corruptions"), self.silent_corruptions);
         reg.counter_max(&format!("{prefix}.max_backoff_cycles"), self.max_backoff_cycles);
         reg.add(&format!("{prefix}.cycles"), self.cycles);
         reg.add(&format!("{prefix}.ideal_cycles"), self.ideal_cycles);
@@ -135,6 +150,8 @@ impl RingHealth {
             retransmits: reg.counter(&format!("{prefix}.retransmits")),
             duplicates_discarded: reg.counter(&format!("{prefix}.duplicates_discarded")),
             holds: reg.counter(&format!("{prefix}.holds")),
+            crc_retransmits: reg.counter(&format!("{prefix}.crc_retransmits")),
+            silent_corruptions: reg.counter(&format!("{prefix}.silent_corruptions")),
             max_backoff_cycles: reg.counter(&format!("{prefix}.max_backoff_cycles")),
             cycles: reg.counter(&format!("{prefix}.cycles")),
             ideal_cycles: reg.counter(&format!("{prefix}.ideal_cycles")),
@@ -180,6 +197,7 @@ fn simulate_link(
     cfg: &ReliableConfig,
     faults: &mut Option<&mut FaultPlan>,
     health: &mut RingHealth,
+    silent: &mut Vec<(u64, u32, u32)>,
 ) -> Result<u64, ReliableError> {
     // Min-heap of (ready_at, seq, retries): fresh chunks are ready at 0 in
     // sequence order; retransmits re-enter with their backoff deadline.
@@ -212,6 +230,26 @@ fn simulate_link(
                 done_at = done_at.max(end);
             }
             None => {
+                // The flit crossed the link; its payload may still have
+                // been damaged in transit. CRC on: the receiver detects
+                // the mismatch and nacks — an immediate retransmit, no
+                // timeout wait. CRC off: the damage is silently delivered.
+                let corrupt =
+                    faults.as_mut().and_then(|p| p.ring_corrupt(cfg.chunk_elems as u32));
+                if let Some((elem, bit)) = corrupt {
+                    if cfg.crc {
+                        let next = retries + 1;
+                        if next > cfg.max_retries {
+                            return Err(ReliableError::RetriesExhausted { seq, retries: next });
+                        }
+                        health.crc_retransmits += 1;
+                        pending.push(Reverse((end, seq, next)));
+                        link_free = end;
+                        continue;
+                    }
+                    health.silent_corruptions += 1;
+                    silent.push((seq, elem, bit));
+                }
                 let hold = faults.as_mut().and_then(|p| p.ring_hold()).unwrap_or(0);
                 if hold > 0 {
                     health.holds += 1;
@@ -294,14 +332,35 @@ pub fn reliable_allreduce(
     ];
     let mut total = 0u64;
     let mut ideal = 0u64;
+    let mut scratch: Vec<(u64, u32, u32)> = Vec::new();
     for (steps, per_chunk) in phases {
-        for _step in 0..steps {
+        for step in 0..steps {
             // All n links move one shard concurrently; the step completes
-            // when the slowest link's last ack lands.
+            // when the slowest link's last ack lands. Link `l` carries
+            // shard `(l + step) mod n` this step — a fixed rotation, so a
+            // silently corrupted chunk maps to a deterministic span of the
+            // reduced vector.
             let mut slowest = 0u64;
-            for _link in 0..n {
-                let t = simulate_link(chunks_per_shard, per_chunk, cfg, &mut faults, &mut health)?;
+            for link in 0..n {
+                scratch.clear();
+                let t = simulate_link(
+                    chunks_per_shard,
+                    per_chunk,
+                    cfg,
+                    &mut faults,
+                    &mut health,
+                    &mut scratch,
+                )?;
                 slowest = slowest.max(t);
+                let shard = (link + step as usize) % n;
+                let lo = shard * shard_len;
+                let hi = ((shard + 1) * shard_len).min(elems);
+                for &(seq, elem, bit) in &scratch {
+                    let idx = lo + seq as usize * cfg.chunk_elems + elem as usize;
+                    if idx < hi {
+                        reduced[idx] = f32::from_bits(reduced[idx].to_bits() ^ (1 << bit));
+                    }
+                }
             }
             health.chunks += chunks_per_shard * n as u64;
             total += slowest + cfg.transport.step_latency_cycles;
@@ -395,6 +454,44 @@ mod tests {
         assert!(health.duplicates_discarded > 0, "expected dupes: {health:?}");
         assert!(health.cycles > health.ideal_cycles);
         assert!(health.bandwidth_retention() < 1.0);
+    }
+
+    #[test]
+    fn crc_turns_corruption_into_retransmits_not_damage() {
+        let inputs = gradients(4, 32_768);
+        let cfg = ReliableConfig::rapid_training(4, true);
+        assert!(cfg.crc, "training links default to CRC protection");
+        let (clean, _) = reliable_allreduce(&inputs, &cfg, None).unwrap();
+        let mut plan = FaultPlan::new(FaultConfig {
+            seed: 23,
+            ring_corrupt_rate: 0.03,
+            ..FaultConfig::default()
+        });
+        let (out, health) = reliable_allreduce(&inputs, &cfg, Some(&mut plan)).unwrap();
+        assert_eq!(out, clean, "CRC-protected corruption must never reach the values");
+        assert!(health.crc_retransmits > 0, "3% corruption must fire: {health:?}");
+        assert_eq!(health.silent_corruptions, 0);
+        assert!(plan.counts().ring_corruptions > 0);
+    }
+
+    #[test]
+    fn without_crc_corruption_is_silently_delivered() {
+        let inputs = gradients(4, 32_768);
+        let cfg =
+            ReliableConfig { crc: false, ..ReliableConfig::rapid_training(4, true) };
+        let (clean, _) = reliable_allreduce(&inputs, &cfg, None).unwrap();
+        let mut plan = FaultPlan::new(FaultConfig {
+            seed: 23,
+            ring_corrupt_rate: 0.03,
+            ..FaultConfig::default()
+        });
+        let (out, health) = reliable_allreduce(&inputs, &cfg, Some(&mut plan)).unwrap();
+        assert!(health.silent_corruptions > 0, "{health:?}");
+        assert_eq!(health.crc_retransmits, 0);
+        assert_ne!(out, clean, "silent corruption must be visible in the reduced values");
+        // Timing is unaffected: a silently delivered chunk costs nothing
+        // extra, which is exactly why it is dangerous.
+        assert_eq!(health.retransmits, 0);
     }
 
     #[test]

@@ -59,6 +59,15 @@ pub enum SimError {
     Numerics(NumericsError),
     /// A ring-interconnect failure during operand distribution.
     Ring(RingError),
+    /// A scratchpad read hit a double-bit upset: SECDED detected it but
+    /// cannot correct it, and the delivered word was corrupt. The run
+    /// aborts rather than compute on bad data.
+    EccUncorrectable {
+        /// Cycle at which the poisoned read was detected.
+        cycle: u64,
+        /// Scratchpad element address of the damaged word.
+        addr: usize,
+    },
     /// A structurally invalid simulator configuration or job.
     InvalidConfig(String),
 }
@@ -81,6 +90,11 @@ impl fmt::Display for SimError {
             }
             SimError::Numerics(e) => write!(f, "numerics error: {e}"),
             SimError::Ring(e) => write!(f, "ring error: {e}"),
+            SimError::EccUncorrectable { cycle, addr } => write!(
+                f,
+                "uncorrectable scratchpad error at cycle {cycle}: \
+                 double-bit upset in word {addr} (SECDED detected, cannot correct)"
+            ),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }
@@ -138,6 +152,15 @@ mod tests {
         assert!(msg.contains("pc 3/10"), "{msg}");
         assert!(msg.contains("waiting on token 0"), "{msg}");
         assert!(msg.contains("[1]=2"), "{msg}");
+    }
+
+    #[test]
+    fn ecc_display_names_cycle_and_address() {
+        let e = SimError::EccUncorrectable { cycle: 77, addr: 4096 };
+        let msg = e.to_string();
+        assert!(msg.contains("cycle 77"), "{msg}");
+        assert!(msg.contains("word 4096"), "{msg}");
+        assert!(msg.contains("double-bit"), "{msg}");
     }
 
     #[test]

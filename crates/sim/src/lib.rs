@@ -40,11 +40,12 @@
 //! assert!(r.cycles > 0);
 //! ```
 
-#![warn(clippy::unwrap_used, clippy::expect_used)]
+// unwrap/expect denial comes from [workspace.lints] in the root manifest.
 
 pub mod array;
 pub mod chip;
 pub mod conv;
+pub mod ecc;
 pub mod error;
 pub mod gemm;
 pub mod seq;

@@ -2,22 +2,98 @@
 //! programmable sequencers at the end points of each link (paper §II-A's
 //! decoupled access–execute organization).
 
+use crate::ecc::{self, Decoded};
 use crate::token::TokenFile;
 use rapid_arch::isa::SeqInstr;
+use std::cell::Cell;
 use std::collections::VecDeque;
+
+/// Per-word SECDED state of an ECC-protected scratchpad. Reads correct
+/// through [`Cell`]s so `Scratchpad::read(&self)` keeps its shared-borrow
+/// signature — exactly like real ECC logic, which corrects on the read
+/// path without a store port.
+#[derive(Debug, Clone)]
+struct EccState {
+    /// The stored 39-bit codeword per element (what the array cells
+    /// actually hold; `data` is the decoded shadow for the fast path).
+    codewords: Vec<u64>,
+    /// Single-bit errors corrected on read.
+    sec: Cell<u64>,
+    /// Double-bit errors detected on read.
+    ded: Cell<u64>,
+    /// First uncorrectable address seen, awaiting escalation.
+    pending: Cell<Option<usize>>,
+}
 
 /// A scratchpad holding `f32` element values (each an exact member of the
 /// stored format's value set). Addressing is in elements; bandwidth
 /// accounting converts to bytes with the stream's element width.
+///
+/// With [`Scratchpad::with_ecc`] every word is stored as a SECDED(39,32)
+/// codeword: single-bit upsets (see [`Scratchpad::inject_flip`]) are
+/// corrected transparently on read, double-bit upsets are detected and
+/// parked for the machine to escalate via
+/// [`Scratchpad::take_uncorrectable`]. On clean data the ECC path is
+/// bit-identical to the unprotected path.
 #[derive(Debug, Clone)]
 pub struct Scratchpad {
     data: Vec<f32>,
+    ecc: Option<EccState>,
 }
 
 impl Scratchpad {
-    /// Creates a scratchpad of `n` elements.
+    /// Creates a scratchpad of `n` elements (unprotected).
     pub fn new(n: usize) -> Self {
-        Self { data: vec![0.0; n] }
+        Self { data: vec![0.0; n], ecc: None }
+    }
+
+    /// Enables SECDED protection, encoding the current contents.
+    pub fn with_ecc(mut self) -> Self {
+        let codewords = self.data.iter().map(|v| ecc::encode(v.to_bits())).collect();
+        self.ecc = Some(EccState {
+            codewords,
+            sec: Cell::new(0),
+            ded: Cell::new(0),
+            pending: Cell::new(None),
+        });
+        self
+    }
+
+    /// Whether SECDED protection is on.
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc.is_some()
+    }
+
+    /// Single-bit errors corrected on read so far.
+    pub fn ecc_sec(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.sec.get())
+    }
+
+    /// Double-bit errors detected on read so far.
+    pub fn ecc_ded(&self) -> u64 {
+        self.ecc.as_ref().map_or(0, |e| e.ded.get())
+    }
+
+    /// Takes the pending uncorrectable-error address, if a read hit a
+    /// double-bit upset since the last call. The machine must escalate
+    /// this — the delivered data was corrupt.
+    pub fn take_uncorrectable(&self) -> Option<usize> {
+        self.ecc.as_ref().and_then(|e| e.pending.take())
+    }
+
+    /// Flips one stored bit at `addr` (a particle strike). With ECC on,
+    /// `bit` addresses the 39-bit codeword (data, check, or parity bits
+    /// all hittable); without ECC only the 32 data bits exist, and flips
+    /// aimed at the (absent) check bits are no-ops.
+    pub fn inject_flip(&mut self, addr: usize, bit: u32) {
+        match &mut self.ecc {
+            Some(e) => e.codewords[addr] ^= 1u64 << (bit % ecc::CODEWORD_BITS),
+            None => {
+                if bit < 32 {
+                    self.data[addr] = f32::from_bits(self.data[addr].to_bits() ^ (1 << bit));
+                }
+            }
+        }
     }
 
     /// Element count.
@@ -30,14 +106,37 @@ impl Scratchpad {
         self.data.is_empty()
     }
 
-    /// Reads one element.
+    /// Reads one element, decoding/correcting through ECC when enabled.
     pub fn read(&self, addr: usize) -> f32 {
-        self.data[addr]
+        let Some(e) = &self.ecc else { return self.data[addr] };
+        match ecc::decode(e.codewords[addr]) {
+            Decoded::Clean => self.data[addr],
+            Decoded::CorrectedData(bits) => {
+                e.sec.set(e.sec.get() + 1);
+                f32::from_bits(bits)
+            }
+            Decoded::CorrectedCheck => {
+                e.sec.set(e.sec.get() + 1);
+                self.data[addr]
+            }
+            Decoded::DoubleError => {
+                e.ded.set(e.ded.get() + 1);
+                if e.pending.get().is_none() {
+                    e.pending.set(Some(addr));
+                }
+                // The hardware delivers the (corrupt) raw word; the
+                // escalation path keeps it from being trusted.
+                f32::from_bits(ecc::data_of(e.codewords[addr]))
+            }
+        }
     }
 
-    /// Writes one element.
+    /// Writes one element (re-encoding the codeword when ECC is on).
     pub fn write(&mut self, addr: usize, v: f32) {
         self.data[addr] = v;
+        if let Some(e) = &mut self.ecc {
+            e.codewords[addr] = ecc::encode(v.to_bits());
+        }
     }
 
     /// Bulk-stores a slice starting at `addr` (job setup).
@@ -47,11 +146,17 @@ impl Scratchpad {
     /// Panics if the region does not fit.
     pub fn store_slice(&mut self, addr: usize, values: &[f32]) {
         self.data[addr..addr + values.len()].copy_from_slice(values);
+        if let Some(e) = &mut self.ecc {
+            for (i, v) in values.iter().enumerate() {
+                e.codewords[addr + i] = ecc::encode(v.to_bits());
+            }
+        }
     }
 
-    /// Bulk-loads `len` elements starting at `addr` (result readout).
+    /// Bulk-loads `len` elements starting at `addr` (result readout),
+    /// through the correcting read path.
     pub fn load_slice(&self, addr: usize, len: usize) -> Vec<f32> {
-        self.data[addr..addr + len].to_vec()
+        (addr..addr + len).map(|a| self.read(a)).collect()
     }
 }
 
@@ -386,6 +491,57 @@ mod tests {
         seq.tick(&spad, &mut link, &mut tokens, &mut budget);
         assert_eq!(link.len(), 1);
         assert!(seq.is_done());
+    }
+
+    #[test]
+    fn ecc_on_clean_data_is_bit_identical() {
+        let values: Vec<f32> = (0..64).map(|i| (i as f32) * 0.125 - 3.0).collect();
+        let plain = spad_with(&values);
+        let protected = spad_with(&values).with_ecc();
+        for a in 0..values.len() {
+            assert_eq!(plain.read(a).to_bits(), protected.read(a).to_bits());
+        }
+        assert_eq!(protected.ecc_sec(), 0);
+        assert_eq!(protected.ecc_ded(), 0);
+        assert_eq!(protected.take_uncorrectable(), None);
+    }
+
+    #[test]
+    fn ecc_corrects_any_single_bit_flip() {
+        let values = [1.5f32, -0.25, 1024.0, 3.0e-5];
+        for bit in 0..39 {
+            let mut s = spad_with(&values).with_ecc();
+            s.inject_flip(2, bit);
+            assert_eq!(s.read(2).to_bits(), values[2].to_bits(), "bit {bit}");
+            assert_eq!(s.ecc_sec(), 1, "bit {bit} must count as SEC");
+            assert_eq!(s.take_uncorrectable(), None);
+        }
+    }
+
+    #[test]
+    fn ecc_escalates_double_flips_instead_of_delivering_silently() {
+        let mut s = spad_with(&[0.5f32, 2.0, -8.0]).with_ecc();
+        s.inject_flip(1, 3);
+        s.inject_flip(1, 17);
+        let _ = s.read(1);
+        assert_eq!(s.ecc_ded(), 1);
+        assert_eq!(s.take_uncorrectable(), Some(1));
+        assert_eq!(s.take_uncorrectable(), None, "pending is taken once");
+        // A rewrite scrubs the word.
+        s.write(1, 2.0);
+        assert_eq!(s.read(1), 2.0);
+        assert_eq!(s.take_uncorrectable(), None);
+    }
+
+    #[test]
+    fn without_ecc_data_bit_flips_corrupt_silently() {
+        let mut s = spad_with(&[1.0f32]);
+        s.inject_flip(0, 30);
+        assert_ne!(s.read(0), 1.0, "unprotected flip must damage the value");
+        // Check-bit flips have no storage to hit without ECC.
+        let mut s2 = spad_with(&[1.0f32]);
+        s2.inject_flip(0, 35);
+        assert_eq!(s2.read(0), 1.0);
     }
 
     #[test]

@@ -68,6 +68,7 @@ impl SfuUnit {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use rapid_numerics::int::{IntFormat, Signedness};

@@ -24,7 +24,7 @@
 //!   workspace's serde is an offline no-op stub, so serialization is done
 //!   here).
 
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// unwrap/expect denial comes from [workspace.lints] in the root manifest.
 #![warn(missing_docs)]
 
 pub mod json;

@@ -310,6 +310,7 @@ pub fn mobilenet_v1() -> Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -140,6 +140,7 @@ pub fn yolov3_tiny() -> Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -114,6 +114,7 @@ pub fn bilstm_swb300() -> Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

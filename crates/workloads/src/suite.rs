@@ -147,6 +147,7 @@ pub fn apply_pruning_profile(net: &mut Network) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

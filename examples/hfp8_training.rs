@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example hfp8_training`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::numerics::int::IntFormat;
 use rapid::refnet::backend::{Backend, Fp16Backend, Fp32Backend, Hfp8Backend};
 use rapid::refnet::data::gaussian_blobs;

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example layer_analysis [benchmark]`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::arch::geometry::ChipConfig;
 use rapid::arch::precision::Precision;
 use rapid::compiler::passes::{compile, CompileOptions};

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example multicore_scaling`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::model::cost::ModelConfig;
 use rapid::model::scaling::{inference_core_scaling, training_chip_scaling};
 use rapid::workloads::suite::benchmark;

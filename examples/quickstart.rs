@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::arch::geometry::ChipConfig;
 use rapid::arch::precision::Precision;
 use rapid::compiler::passes::{compile, CompileOptions};

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example ring_multicast`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::ring::sim::{memory_read, multicast, unicast, RingSim};
 
 fn main() {

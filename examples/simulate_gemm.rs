@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example simulate_gemm`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::arch::precision::Precision;
 use rapid::compiler::mapping::map_layer;
 use rapid::numerics::gemm::matmul_f32;

@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release --example sparsity_throttling`
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // examples fail loudly by design
+
 use rapid::arch::geometry::ChipConfig;
 use rapid::arch::power::ThrottleModel;
 use rapid::model::cost::ModelConfig;

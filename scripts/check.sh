@@ -10,6 +10,10 @@
 #                                 a timed bench smoke with --json +
 #                                 RAPID_TRACE, and schema validation of
 #                                 the emitted record via telemetry_report
+#   scripts/check.sh --protection protection gate only: clippy on the
+#                                 protection-touched crates, a timed
+#                                 protection_sweep smoke with --json, and
+#                                 schema validation of its record
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,6 +44,30 @@ telemetry_gate() {
     ./target/release/telemetry_report "$out/aggregate.json" --validate
 }
 
+protection_gate() {
+    echo "== cargo clippy on the protection-touched crates (deny warnings) =="
+    cargo clippy -p rapid-numerics -p rapid-sim -p rapid-ring -p rapid-recover \
+        -p rapid-arch -p rapid-model -p rapid-fault --all-targets -- -D warnings
+    echo "== protection_sweep --smoke --json (hard 120s timeout) =="
+    cargo build --release -p rapid-bench --bin protection_sweep --bin telemetry_report
+    local out="target/protection-gate"
+    rm -rf "$out" && mkdir -p "$out"
+    timeout 120 ./target/release/protection_sweep --smoke --json "$out/protection_sweep.json"
+    echo "== telemetry_report --validate on the emitted record =="
+    # Wrap the single bench record as a one-element aggregate and validate
+    # both layers of the schema with the repo's own validator.
+    printf '{"schema":"rapid-bench-aggregate-v1","records":[%s]}' \
+        "$(cat "$out/protection_sweep.json")" > "$out/aggregate.json"
+    ./target/release/telemetry_report "$out/aggregate.json" --validate
+    # The zero-silent-delivery and counter contracts, straight off the record.
+    grep -q '"ring.silent":0' "$out/protection_sweep.json" \
+        || { echo "record is missing ring.silent == 0"; exit 1; }
+    grep -q '"spad.silent":0' "$out/protection_sweep.json" \
+        || { echo "record is missing spad.silent == 0"; exit 1; }
+    grep -q '"recover.abft.corrections"' "$out/protection_sweep.json" \
+        || { echo "record is missing the ABFT correction counter"; exit 1; }
+}
+
 if [[ "${1:-}" == "--recovery" ]]; then
     recovery_gate
     echo "Recovery checks passed."
@@ -49,6 +77,12 @@ fi
 if [[ "${1:-}" == "--telemetry" ]]; then
     telemetry_gate
     echo "Telemetry checks passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--protection" ]]; then
+    protection_gate
+    echo "Protection checks passed."
     exit 0
 fi
 
@@ -66,5 +100,6 @@ timeout 120 ./target/release/fault_sweep --smoke
 
 recovery_gate
 telemetry_gate
+protection_gate
 
 echo "All checks passed."

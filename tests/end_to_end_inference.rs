@@ -1,6 +1,8 @@
 //! Integration: compile and evaluate the whole 11-benchmark suite for
 //! batch-1 inference and check the paper's headline bands (Figs 13, 14, 17).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::arch::geometry::ChipConfig;
 use rapid::arch::precision::Precision;
 use rapid::compiler::passes::{compile, CompileOptions};

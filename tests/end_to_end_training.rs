@@ -1,6 +1,8 @@
 //! Integration: the 4-chip × 32-core training system across the suite
 //! (Fig 15) plus the chip-scaling claims (Fig 18b).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::arch::geometry::SystemConfig;
 use rapid::arch::precision::Precision;
 use rapid::model::cost::ModelConfig;

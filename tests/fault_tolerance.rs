@@ -14,6 +14,8 @@
 //!   are bit-exact against the fast paths;
 //! - the same seed reproduces the same fault trace, event for event.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use proptest::prelude::*;
 use rapid::arch::isa::SeqInstr;
 use rapid::fault::{FaultConfig, FaultPlan};

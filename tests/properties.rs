@@ -1,5 +1,7 @@
 //! Property-based tests on cross-crate invariants (proptest).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use proptest::prelude::*;
 use rapid::arch::geometry::CoreletConfig;
 use rapid::arch::isa::MpeInstr;

@@ -1,0 +1,175 @@
+//! Property tests for the end-to-end data protection layer (E19): ABFT
+//! checksummed GEMMs across all five compute formats, and torn checkpoint
+//! writes that must never panic or load garbage.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
+use proptest::prelude::*;
+use rapid::fault::{FaultConfig, FaultPlan};
+use rapid::numerics::abft::{abft_matmul_emulated, abft_matmul_int, fp_tolerance_factor};
+use rapid::numerics::fma::FmaMode;
+use rapid::numerics::gemm::{matmul_emulated, matmul_int};
+use rapid::numerics::int::{IntFormat, QuantParams, Signedness};
+use rapid::numerics::Tensor;
+use rapid::recover::checkpoint::{decode, CheckpointStore, LayerState, TrainState};
+
+const M: usize = 6;
+const K: usize = 16;
+const N: usize = 5;
+const CHUNK: usize = 4;
+
+fn operands(seed: u64) -> (Tensor, Tensor) {
+    let a = Tensor::random_uniform(vec![M, K], -2.0, 2.0, seed);
+    let b = Tensor::random_uniform(vec![K, N], -2.0, 2.0, seed ^ 0xABCD);
+    (a, b)
+}
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(FaultConfig {
+        seed,
+        mac_acc_rate: 5e-3,
+        mac_operand_rate: 2e-3,
+        ..FaultConfig::default()
+    })
+}
+
+/// Per-element bounds of the FP dual contract: a fault that survives must
+/// have slipped under BOTH the row and the column residual thresholds, so
+/// any delivered error is at most 2× the smaller of the two detection
+/// envelopes (detection slack plus the datapath's own rounding slack).
+fn fp_error_bounds(mode: FmaMode, a: &Tensor, b: &Tensor) -> Vec<f64> {
+    let (fa, fb) = mode.operand_formats();
+    let qa: Vec<f64> = a.as_slice().iter().map(|&x| f64::from(fa.quantize(x))).collect();
+    let qb: Vec<f64> = b.as_slice().iter().map(|&x| f64::from(fb.quantize(x))).collect();
+    let tol = fp_tolerance_factor(K, CHUNK);
+    let abs_row_sum_b: Vec<f64> =
+        (0..K).map(|p| (0..N).map(|j| qb[p * N + j].abs()).sum()).collect();
+    let abs_col_sum_a: Vec<f64> =
+        (0..K).map(|p| (0..M).map(|i| qa[i * K + p].abs()).sum()).collect();
+    let mut bounds = Vec::with_capacity(M * N);
+    for i in 0..M {
+        let env_row: f64 = (0..K).map(|p| qa[i * K + p].abs() * abs_row_sum_b[p]).sum();
+        for j in 0..N {
+            let env_col: f64 = (0..K).map(|p| abs_col_sum_a[p] * qb[p * N + j].abs()).sum();
+            bounds.push(2.0 * tol * env_row.min(env_col));
+        }
+    }
+    bounds
+}
+
+proptest! {
+    /// Every seeded fault stream — whatever it flips — leaves the ABFT
+    /// product equal to the fault-free one: bit-exactly for the integer
+    /// formats (INT4, INT2), within the rounding-envelope dual contract
+    /// for the float formats (FP16 and both HFP8 modes).
+    #[test]
+    fn abft_corrects_single_faults(seed in 1u64..100_000, fmt in 0usize..5) {
+        let (a, b) = operands(seed.rotate_left(7) ^ fmt as u64);
+        match fmt {
+            0..=2 => {
+                let mode = [
+                    FmaMode::Fp16,
+                    FmaMode::hfp8_fwd_default(),
+                    FmaMode::hfp8_bwd_default(),
+                ][fmt];
+                let (clean, _) = matmul_emulated(mode, &a, &b, CHUNK);
+                let mut p = plan(seed);
+                let (c, _, rep) =
+                    abft_matmul_emulated(mode, &a, &b, CHUNK, Some(&mut p)).unwrap();
+                prop_assert!(rep.checksum_macs > 0);
+                let bounds = fp_error_bounds(mode, &a, &b);
+                for (idx, (&got, &want)) in
+                    c.as_slice().iter().zip(clean.as_slice()).enumerate()
+                {
+                    prop_assert!(
+                        got.to_bits() == want.to_bits()
+                            || f64::from((got - want).abs()) <= bounds[idx],
+                        "{mode:?} seed {seed} element {idx}: got {got}, clean {want}, bound {}",
+                        bounds[idx]
+                    );
+                }
+            }
+            _ => {
+                let ifmt = if fmt == 3 { IntFormat::Int4 } else { IntFormat::Int2 };
+                let q = QuantParams::from_abs_max(ifmt, Signedness::Signed, 2.0);
+                let (clean, _) = matmul_int(&a, &b, q, q, CHUNK);
+                let mut p = plan(seed);
+                let (c, _, rep) = abft_matmul_int(&a, &b, q, q, CHUNK, Some(&mut p)).unwrap();
+                prop_assert!(rep.checksum_macs > 0);
+                prop_assert_eq!(
+                    c.as_slice(),
+                    clean.as_slice(),
+                    "{:?} seed {}: integer repair must be bit-exact",
+                    ifmt,
+                    seed
+                );
+            }
+        }
+    }
+
+    /// With no fault plan the protected GEMM is bit-invisible: identical
+    /// output to the unprotected kernel and zero detections, in every
+    /// format.
+    #[test]
+    fn disabled_protection_is_bit_invisible(seed in 1u64..100_000) {
+        let (a, b) = operands(seed);
+        for mode in [FmaMode::Fp16, FmaMode::hfp8_fwd_default(), FmaMode::hfp8_bwd_default()] {
+            let (clean, _) = matmul_emulated(mode, &a, &b, CHUNK);
+            let (c, _, rep) = abft_matmul_emulated(mode, &a, &b, CHUNK, None).unwrap();
+            prop_assert_eq!(c.as_slice(), clean.as_slice());
+            prop_assert_eq!(rep.corrections + rep.detected_rows + rep.detected_cols, 0);
+        }
+        for ifmt in [IntFormat::Int4, IntFormat::Int2] {
+            let q = QuantParams::from_abs_max(ifmt, Signedness::Signed, 2.0);
+            let (clean, _) = matmul_int(&a, &b, q, q, CHUNK);
+            let (c, _, rep) = abft_matmul_int(&a, &b, q, q, CHUNK, None).unwrap();
+            prop_assert_eq!(c.as_slice(), clean.as_slice());
+            prop_assert_eq!(rep.corrections + rep.detected_rows + rep.detected_cols, 0);
+        }
+    }
+
+    /// A torn write of the newest checkpoint — truncation at EVERY byte
+    /// offset — either falls back to the previous good generation or
+    /// reports a structured error. It never panics and never loads
+    /// garbage.
+    #[test]
+    fn torn_checkpoint_writes_never_panic(
+        step0 in 1u64..1_000,
+        step1 in 1_000u64..2_000,
+        wseed in 0u64..1_000_000,
+    ) {
+        let state = |step: u64, fill: f32| TrainState {
+            step,
+            rng_state: wseed,
+            scale: 128.0,
+            scaler_good_steps: 3,
+            layers: vec![LayerState {
+                rows: 2,
+                cols: 3,
+                w: vec![fill; 6],
+                b: vec![-fill; 2],
+            }],
+            alphas: vec![1.0, 0.5],
+        };
+        let dir = std::env::temp_dir()
+            .join(format!("rapid-torn-{}-{wseed}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = CheckpointStore::open(&dir, "t", 8).unwrap();
+        store.save(&state(step0, wseed as f32 * 1e-6)).unwrap();
+        store.save(&state(step1, 2.5)).unwrap();
+        let newest = dir.join("t.1.ckpt");
+        let full = std::fs::read(&newest).unwrap();
+        for len in 0..full.len() {
+            // Decoding the torn image is a structured error, not a panic.
+            prop_assert!(decode(&full[..len]).is_err(), "prefix of {len} bytes decoded");
+            // The store skips the torn generation and serves the previous
+            // good one.
+            std::fs::write(&newest, &full[..len]).unwrap();
+            let (gen, loaded) = store.load_latest().unwrap().expect("gen 0 survives");
+            prop_assert_eq!(gen, 0);
+            prop_assert_eq!(loaded.step, step0);
+        }
+        prop_assert!(store.corrupt_skipped() >= full.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

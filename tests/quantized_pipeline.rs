@@ -2,6 +2,8 @@
 //! train (refnet) → quantize (quant) → execute on the simulated FXU (sim)
 //! — and check that all three integer paths agree.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::arch::precision::Precision;
 use rapid::numerics::gemm::matmul_int;
 use rapid::numerics::int::{IntFormat, QuantParams, Signedness};

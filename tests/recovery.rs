@@ -15,6 +15,8 @@
 //!   core failed computes bit-identical GEMM results on the 3 survivors,
 //!   and the analytical model prices the slowdown above 1×.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::fault::{derive_seed, FaultConfig, FaultPlan};
 use rapid::model::{degraded_throughput, ModelConfig};
 use rapid::numerics::int::IntFormat;

@@ -3,6 +3,8 @@
 //! the paper's "performance model calibrated to within 1% of the
 //! measurement results".
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::arch::geometry::CoreletConfig;
 use rapid::arch::precision::Precision;
 use rapid::compiler::mapping::map_layer;

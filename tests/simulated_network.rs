@@ -4,6 +4,8 @@
 //! reference. This is the deepest end-to-end path in the repository:
 //! refnet (training) → quant (scales) → sim (execution).
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::arch::precision::Precision;
 use rapid::numerics::format::FpFormat;
 use rapid::numerics::Tensor;

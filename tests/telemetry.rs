@@ -3,6 +3,8 @@
 //! disabled, Chrome-trace well-formedness, thin-view round trips, and the
 //! bench record schema.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
 use rapid::fault::{FaultConfig, FaultPlan};
 use rapid::numerics::gemm::GemmStats;
 use rapid::numerics::Tensor;
