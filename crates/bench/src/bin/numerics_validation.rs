@@ -4,6 +4,7 @@
 
 use rapid_bench::{compare, section, BenchRecord};
 use rapid_numerics::accumulate::{dot_chunked, dot_flat_fp16};
+use rapid_numerics::dispatch::kernel_matrix;
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::int::IntFormat;
 use rapid_refnet::backend::{Fp16Backend, Fp32Backend, Hfp8Backend};
@@ -15,6 +16,12 @@ use rapid_refnet::quantized::QuantizedMlp;
 
 fn main() {
     let mut rec = BenchRecord::new("numerics_validation");
+    section("E10.0 — kernel selection matrix (128³, chunk 64, current RAPID_SIMD)");
+    for choice in kernel_matrix() {
+        compare(&format!("  {}", choice.format), choice.backend, &choice.reason);
+        rec.config_str(&format!("kernel.{}", choice.format), &choice.backend.to_string());
+    }
+
     section("E10.1 — chunk-based accumulation (Sakr et al. [51])");
     let n = 8192;
     let a = vec![1.0f32; n];

@@ -14,6 +14,13 @@
 //! forced down with `RAPID_FORCE_FAIL=<bin>`) is marked FAILED in the
 //! summary table, every other experiment still runs and prints, and the
 //! process exits non-zero.
+//!
+//! The aggregate also carries a kernel-speed regression gate: every
+//! `*.speedup_vs_scalar` metric in the previous `BENCH_repro.json` is
+//! compared against the fresh run, and any ratio that fell more than 20%
+//! below its recorded value fails the run loudly. Ratios compare a
+//! kernel against its scalar reference measured in the same process, so
+//! machine load cancels out of the comparison.
 
 use rapid_bench::{json_path_from_args, num_threads, try_par_map};
 use rapid_fault::{derive_seed, FaultConfig};
@@ -45,6 +52,7 @@ fn main() -> ExitCode {
         "fig18_scaling",
         "calibration",
         "numerics_validation",
+        "kernel_speed",
         "ring_multicast",
         "int2_future",
         "ablations",
@@ -54,6 +62,9 @@ fn main() -> ExitCode {
         "recovery_sweep",
         "protection_sweep",
     ];
+    // Snapshot the previous run's kernel speedups before the aggregate
+    // is overwritten; they are the regression-gate baseline.
+    let prior_speedups = read_speedups(&aggregate_path);
     // Each experiment gets its own child fault seed derived from the
     // master, so adding an experiment never perturbs another's streams.
     let master = FaultConfig::seed_from_env(7);
@@ -124,6 +135,24 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Kernel-speed regression gate: a speedup-vs-scalar ratio more than
+    // 20% below the previous aggregate fails the run loudly, so a SIMD
+    // kernel regression cannot hide behind a green repro.
+    const SPEEDUP_FLOOR: f64 = 0.8;
+    let fresh_speedups = speedups_of(&aggregate);
+    for (key, old) in &prior_speedups {
+        let Some((_, new)) = fresh_speedups.iter().find(|(k, _)| k == key) else { continue };
+        if *new < old * SPEEDUP_FLOOR {
+            println!(
+                "*** kernel speed regression: {key} fell {old:.1}x -> {new:.1}x \
+                 (more than 20% below the recorded baseline) ***"
+            );
+            if !failed.contains(&"kernel-speed-gate") {
+                failed.push("kernel-speed-gate");
+            }
+        }
+    }
+
     println!("\n############ summary ############");
     for bin in &bins {
         let status = if failed.contains(bin) { "FAILED" } else { "ok" };
@@ -143,4 +172,31 @@ fn main() -> ExitCode {
         eprintln!("failed experiments: {}", failed.join(", "));
         ExitCode::FAILURE
     }
+}
+
+/// Every `experiment:metric` pair whose metric name ends in
+/// `.speedup_vs_scalar`, from an aggregate JSON value.
+fn speedups_of(aggregate: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(records) = aggregate.get("records").and_then(Json::as_arr) else { return out };
+    for r in records {
+        let exp = r.get("experiment").and_then(Json::as_str).unwrap_or("");
+        let Some(metrics) = r.get("metrics").and_then(Json::as_obj) else { continue };
+        for (k, v) in metrics {
+            if k.ends_with(".speedup_vs_scalar") {
+                if let Some(x) = v.as_f64() {
+                    out.push((format!("{exp}:{k}"), x));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The speedup baseline from a previous aggregate file; empty (gate
+/// disabled) when no prior aggregate exists or it does not parse.
+fn read_speedups(path: &std::path::Path) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(json) = Json::parse(&text) else { return Vec::new() };
+    speedups_of(&json)
 }

@@ -21,9 +21,12 @@
 //! per-band statistics is deterministic regardless of thread count.
 
 use crate::accumulate::ChunkAccumulator;
+use crate::bitslice;
+use crate::dispatch::{self, SimdMode};
 use crate::fma::FmaMode;
 use crate::guard::{saturate_f32, GuardPolicy};
-use crate::int::{IntAccumulator, QuantParams, Signedness};
+use crate::int::{IntAccumulator, IntFormat, QuantParams, Signedness};
+use crate::simd;
 use crate::lut::{is_zero_code, product_lut};
 use crate::qtensor::QTensor;
 use crate::tensor::Tensor;
@@ -128,7 +131,7 @@ const JR: usize = 16;
 /// branches of the general [`fp16_round`]; agreement with it over the whole
 /// domain is pinned by `fast_rounder_matches_general_quantizer`.
 #[inline(always)]
-fn fp16_round_sum(x: f32) -> f32 {
+pub(crate) fn fp16_round_sum(x: f32) -> f32 {
     // FP16 (1,6,9), bias 31: e_min = -30, e_max = 32.
     const MIN_NORMAL: u32 = ((-30 + 127) as u32) << 23;
     const HALF_MIN: u32 = ((-31 + 127) as u32) << 23;
@@ -162,7 +165,7 @@ fn fp16_round_sum(x: f32) -> f32 {
 /// lets the compiler vectorize the per-column rounding lanes. Agreement
 /// with the general quantizer is pinned by the same test.
 #[inline(always)]
-fn fp16_round_sum_sel(x: f32) -> f32 {
+pub(crate) fn fp16_round_sum_sel(x: f32) -> f32 {
     const MIN_NORMAL: u32 = ((-30 + 127) as u32) << 23;
     const HALF_MIN: u32 = ((-31 + 127) as u32) << 23;
     const MAX_BITS: u32 = ((32 + 127) as u32) << 23 | (((1u32 << 9) - 1) << 14);
@@ -313,6 +316,28 @@ pub fn matmul_emulated_checked(
     b: &Tensor,
     chunk_len: usize,
 ) -> Result<(Tensor, GemmStats), NumericsError> {
+    matmul_emulated_with_simd(mode, a, b, chunk_len, SimdMode::from_env())
+}
+
+/// [`matmul_emulated_checked`] under an explicit vectorization policy
+/// instead of the `RAPID_SIMD` environment knob — the entry point tests
+/// and benches use to pin a backend regardless of the environment.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] if the operands are not
+/// `[m,k]` and `[k,n]` matrices.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+pub fn matmul_emulated_with_simd(
+    mode: FmaMode,
+    a: &Tensor,
+    b: &Tensor,
+    chunk_len: usize,
+    simd_mode: SimdMode,
+) -> Result<(Tensor, GemmStats), NumericsError> {
     let (m, k, n) = check_matmul_shapes(a, b)?;
     assert!(chunk_len > 0, "chunk length must be positive");
     let (fa, fb) = mode.operand_formats();
@@ -322,6 +347,7 @@ pub fn matmul_emulated_checked(
     if m == 0 || n == 0 {
         return Ok((out, GemmStats::default()));
     }
+    let use_simd = dispatch::float_use_simd(simd_mode, (m * n * k) as u64);
     let stats = match (qa.codes(), qb.codes()) {
         (Some(ac), Some(bc)) => {
             // 8-bit operands: every FP9 conversion and operand product is
@@ -334,8 +360,21 @@ pub fn matmul_emulated_checked(
             let products: Vec<f32> =
                 lut.products().iter().map(|&p| if p == 0.0 { -0.0 } else { p }).collect();
             let bt = transposed_panels(bc, k, n);
+            // The SIMD path decodes both operands to their FP9 values up
+            // front: the table factors bit-exactly into the operand tables
+            // (`product(ca, cb) == a_operands[ca] * b_operands[cb]`), so
+            // the vector kernel's runtime multiply reproduces every table
+            // entry and the per-step gather disappears.
+            let fdec = (use_simd && n >= simd::GROUP).then(|| {
+                let ia = lut.a_operands();
+                let ib = lut.b_operands();
+                let av: Vec<f32> = ac.iter().map(|&c| ia[usize::from(c)]).collect();
+                let btv: Vec<f32> = bt.iter().map(|&c| ib[usize::from(c)]).collect();
+                (av, interleave_groups(&btv, k, n))
+            });
             let work = |row0: usize, band: &mut [f32]| -> GemmStats {
-                lut_band(ac, &bt, &products, row0, k, n, chunk_len, band)
+                let fdec = fdec.as_ref().map(|(av, bi)| (av.as_slice(), bi.as_slice()));
+                lut_band(ac, &bt, fdec, &products, row0, k, n, chunk_len, band)
             };
             par_rows(out.as_mut_slice(), m, n, k, &work)
         }
@@ -343,14 +382,36 @@ pub fn matmul_emulated_checked(
             // FP16 operands: the product of two quantized values is exact in
             // f32, so the kernel works on lattice values directly.
             let bt = transposed_panels(qb.values().as_slice(), k, n);
+            let binter =
+                (use_simd && n >= simd::GROUP).then(|| interleave_groups(&bt, k, n));
             let av = qa.values().as_slice();
             let work = |row0: usize, band: &mut [f32]| -> GemmStats {
-                fp16_band(av, &bt, row0, k, n, chunk_len, band)
+                fp16_band(av, &bt, binter.as_deref(), row0, k, n, chunk_len, band)
             };
             par_rows(out.as_mut_slice(), m, n, k, &work)
         }
     };
     Ok((out, stats))
+}
+
+/// Interleaves `[n, k]` column panels into 16-wide groups for the AVX2
+/// kernels: group `g` stores, for each k-position `p`, the 16 consecutive
+/// column values `bt[(16g + t) * k + p]` contiguously, so each SIMD step
+/// is one (or two) straight vector loads instead of 16 strided ones.
+/// Trailing columns (`n % 16`) stay on the scalar block path.
+fn interleave_groups<T: Copy + Default>(bt: &[T], k: usize, n: usize) -> Vec<T> {
+    let groups = n / simd::GROUP;
+    let mut out = vec![T::default(); groups * k * simd::GROUP];
+    for g in 0..groups {
+        let dst = &mut out[g * k * simd::GROUP..(g + 1) * k * simd::GROUP];
+        for t in 0..simd::GROUP {
+            let col = &bt[(g * simd::GROUP + t) * k..(g * simd::GROUP + t + 1) * k];
+            for (p, &v) in col.iter().enumerate() {
+                dst[p * simd::GROUP + t] = v;
+            }
+        }
+    }
+    out
 }
 
 /// Fills one row band of an 8-bit-operand GEMM from the product LUT.
@@ -361,6 +422,7 @@ pub fn matmul_emulated_checked(
 fn lut_band(
     ac: &[u8],
     bt: &[u8],
+    fdec: Option<(&[f32], &[f32])>,
     products: &[f32],
     row0: usize,
     k: usize,
@@ -387,11 +449,36 @@ fn lut_band(
         }
         let orow = &mut band[r * n..(r + 1) * n];
         let mut j = 0;
-        while j + JR <= n {
-            let bcols = std::array::from_fn(|t| &bt[(j + t) * k..(j + t + 1) * k]);
-            let res = dot_lut_block::<JR>(arow, bcols, products, chunk_len);
-            orow[j..j + JR].copy_from_slice(&res);
-            j += JR;
+        if let Some((av, bi)) = fdec {
+            // AVX2 float kernel over the interleaved 16-column groups of
+            // pre-decoded FP9 operand values: four groups at a time (8
+            // independent accumulation chains to hide the add+round
+            // latency), single groups as cleanup. A group starting at
+            // column j begins at element j*k. The kernel's multiply
+            // reproduces each table entry bit-exactly and its zero-product
+            // remap to -0.0 matches the table's gated entries.
+            let arv = &av[(row0 + r) * k..(row0 + r + 1) * k];
+            let gsz = k * simd::GROUP;
+            let mut wres = [0.0f32; simd::WIDE];
+            while j + simd::WIDE <= n {
+                let bw = &bi[j * k..j * k + simd::WIDE_GROUPS * gsz];
+                simd::dot_fp16_groups_wide(arv, bw, chunk_len, &mut wres);
+                orow[j..j + simd::WIDE].copy_from_slice(&wres);
+                j += simd::WIDE;
+            }
+            let mut res = [0.0f32; simd::GROUP];
+            while j + simd::GROUP <= n {
+                simd::dot_fp16_group16(arv, &bi[j * k..j * k + gsz], chunk_len, &mut res);
+                orow[j..j + simd::GROUP].copy_from_slice(&res);
+                j += simd::GROUP;
+            }
+        } else {
+            while j + JR <= n {
+                let bcols = std::array::from_fn(|t| &bt[(j + t) * k..(j + t + 1) * k]);
+                let res = dot_lut_block::<JR>(arow, bcols, products, chunk_len);
+                orow[j..j + JR].copy_from_slice(&res);
+                j += JR;
+            }
         }
         while j < n {
             let res = dot_lut_block::<1>(arow, [&bt[j * k..(j + 1) * k]], products, chunk_len);
@@ -453,9 +540,11 @@ fn dot_lut_block<const B: usize>(
 
 /// Fills one row band of an FP16-operand GEMM on lattice values, with the
 /// same popcount-based gating statistics as [`lut_band`].
+#[allow(clippy::too_many_arguments)]
 fn fp16_band(
     av: &[f32],
     bt: &[f32],
+    binter: Option<&[f32]>,
     row0: usize,
     k: usize,
     n: usize,
@@ -479,11 +568,30 @@ fn fp16_band(
         }
         let orow = &mut band[r * n..(r + 1) * n];
         let mut j = 0;
-        while j + JR <= n {
-            let bcols = std::array::from_fn(|t| &bt[(j + t) * k..(j + t + 1) * k]);
-            let res = dot_fp16_block::<JR>(arow, bcols, chunk_len);
-            orow[j..j + JR].copy_from_slice(&res);
-            j += JR;
+        if let Some(bi) = binter {
+            // AVX2 lattice-value kernel over the interleaved groups, wide
+            // first then single-group cleanup (see `lut_band`).
+            let gsz = k * simd::GROUP;
+            let mut wres = [0.0f32; simd::WIDE];
+            while j + simd::WIDE <= n {
+                let bw = &bi[j * k..j * k + simd::WIDE_GROUPS * gsz];
+                simd::dot_fp16_groups_wide(arow, bw, chunk_len, &mut wres);
+                orow[j..j + simd::WIDE].copy_from_slice(&wres);
+                j += simd::WIDE;
+            }
+            let mut res = [0.0f32; simd::GROUP];
+            while j + simd::GROUP <= n {
+                simd::dot_fp16_group16(arow, &bi[j * k..j * k + gsz], chunk_len, &mut res);
+                orow[j..j + simd::GROUP].copy_from_slice(&res);
+                j += simd::GROUP;
+            }
+        } else {
+            while j + JR <= n {
+                let bcols = std::array::from_fn(|t| &bt[(j + t) * k..(j + t + 1) * k]);
+                let res = dot_fp16_block::<JR>(arow, bcols, chunk_len);
+                orow[j..j + JR].copy_from_slice(&res);
+                j += JR;
+            }
         }
         while j < n {
             let res = dot_fp16_block::<1>(arow, [&bt[j * k..(j + 1) * k]], chunk_len);
@@ -723,34 +831,96 @@ pub fn matmul_int_checked(
     qb: QuantParams,
     chunk_len: usize,
 ) -> Result<(Tensor, GemmStats), NumericsError> {
+    matmul_int_with_simd(a, b, qa, qb, chunk_len, SimdMode::from_env())
+}
+
+/// Whether an INT16 chunk register could saturate for these quantization
+/// parameters at reduction depth `k`: the worst-case magnitude of a chunk
+/// window exceeds `i16::MAX`. When it cannot, the windowed tiled sum
+/// equals the plain exact dot product (order-independent integer
+/// addition), which is what licenses the whole-k madd and bit-sliced
+/// kernels to ignore chunk boundaries while staying bit-exact.
+pub(crate) fn int_saturation_possible(
+    qa: QuantParams,
+    qb: QuantParams,
+    k: usize,
+    chunk_len: usize,
+) -> bool {
+    let worst = |p: QuantParams| {
+        let (lo, hi) = p.code_range();
+        i64::from(lo.unsigned_abs().max(hi.unsigned_abs()))
+    };
+    let window = chunk_len.min(k.max(1)) as i64;
+    window * worst(qa) * worst(qb) > i64::from(i16::MAX)
+}
+
+/// [`matmul_int_checked`] under an explicit vectorization policy instead
+/// of the `RAPID_SIMD` environment knob.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] if the operands are not
+/// `[m,k]` and `[k,n]` matrices.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+pub fn matmul_int_with_simd(
+    a: &Tensor,
+    b: &Tensor,
+    qa: QuantParams,
+    qb: QuantParams,
+    chunk_len: usize,
+    simd_mode: SimdMode,
+) -> Result<(Tensor, GemmStats), NumericsError> {
     let (m, k, n) = check_matmul_shapes(a, b)?;
     assert!(chunk_len > 0, "chunk length must be positive");
-    let ca: Vec<i8> = a.as_slice().iter().map(|&x| qa.quantize(x)).collect();
-    let cb: Vec<i8> = b.as_slice().iter().map(|&x| qb.quantize(x)).collect();
+    let mut ca = Vec::new();
+    let mut cb = Vec::new();
+    qa.quantize_slice_into(a.as_slice(), &mut ca);
+    qb.quantize_slice_into(b.as_slice(), &mut cb);
     let out_scale = qa.scale() * qb.scale();
     let mut out = Tensor::zeros(vec![m, n]);
     if m == 0 || n == 0 {
         return Ok((out, GemmStats::default()));
     }
     // The INT16 chunk register cannot saturate when the worst-case chunk
-    // magnitude fits; then plain i32 window sums are bit-exact and the
-    // packed fast path applies. Otherwise (illegally long chunks) fall back
-    // to the saturating scalar accumulator.
-    let worst = |p: QuantParams| {
-        let (lo, hi) = p.code_range();
-        i64::from(lo.unsigned_abs().max(hi.unsigned_abs()))
-    };
-    let window = chunk_len.min(k.max(1)) as i64;
-    let stats = if window * worst(qa) * worst(qb) <= i64::from(i16::MAX) {
-        let cbt = transposed_panels(&cb, k, n);
-        let pa = PackedPanel::pack(&ca, m, k, qa);
-        let pb = PackedPanel::pack(&cbt, n, k, qb);
-        let work = |row0: usize, band: &mut [f32]| -> GemmStats {
-            int_band(&pa, &pb, row0, k, n, chunk_len, out_scale, band)
-        };
-        par_rows(out.as_mut_slice(), m, n, k, &work)
-    } else {
-        matmul_int_codes_scalar(&ca, &cb, m, k, n, chunk_len, out_scale, out.as_mut_slice())
+    // magnitude fits; then exact integer sums are bit-exact and the fast
+    // paths apply. Otherwise (illegally long chunks) fall back to the
+    // saturating scalar accumulator.
+    if int_saturation_possible(qa, qb, k, chunk_len) {
+        let stats =
+            matmul_int_codes_scalar(&ca, &cb, m, k, n, chunk_len, out_scale, out.as_mut_slice());
+        return Ok((out, stats));
+    }
+    let macs = (m * n * k) as u64;
+    let both_int2 = qa.format() == IntFormat::Int2 && qb.format() == IntFormat::Int2;
+    let stats = match dispatch::int_kernel(simd_mode, macs, k, both_int2) {
+        dispatch::IntKernel::Tiled => {
+            let cbt = transposed_panels(&cb, k, n);
+            let pa = PackedPanel::pack(&ca, m, k, qa);
+            let pb = PackedPanel::pack(&cbt, n, k, qb);
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                int_band(&pa, &pb, row0, k, n, chunk_len, out_scale, band)
+            };
+            par_rows(out.as_mut_slice(), m, n, k, &work)
+        }
+        dispatch::IntKernel::Madd => {
+            let cbt = transposed_panels(&cb, k, n);
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                madd_band(&ca, &cbt, row0, k, n, out_scale, band)
+            };
+            par_rows(out.as_mut_slice(), m, n, k, &work)
+        }
+        dispatch::IntKernel::BitSliced => {
+            let cbt = transposed_panels(&cb, k, n);
+            let pa = bitslice::BitPlanes::pack(&ca, m, k, qa.signedness());
+            let pb = bitslice::BitPlanes::pack(&cbt, n, k, qb.signedness());
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                bitslice_band(&pa, &pb, row0, k, n, out_scale, band)
+            };
+            par_rows(out.as_mut_slice(), m, n, k, &work)
+        }
     };
     Ok((out, stats))
 }
@@ -990,6 +1160,71 @@ fn int_band(
     GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0, guard_clamps: 0 }
 }
 
+/// Fills one row band of an integer GEMM with the AVX2 widening-madd
+/// kernel. Only called when the chunk guard rules out INT16 saturation,
+/// where the windowed sum equals the plain dot product, so the whole-k
+/// vector sum is bit-exact. Operands are unpacked `i8` codes — the madd
+/// kernel reads them directly, so no panel packing/decoding is needed.
+fn madd_band(
+    ca: &[i8],
+    cbt: &[i8],
+    row0: usize,
+    k: usize,
+    n: usize,
+    out_scale: f32,
+    band: &mut [f32],
+) -> GemmStats {
+    let rows = band.len() / n;
+    let words = k.div_ceil(64);
+    let mut zb = vec![0u64; n * words];
+    for j in 0..n {
+        let col = &cbt[j * k..(j + 1) * k];
+        zero_mask_into(&mut zb[j * words..(j + 1) * words], |p| col[p] == 0, k);
+    }
+    let mut za = vec![0u64; words];
+    let mut gated = 0u64;
+    for r in 0..rows {
+        let arow = &ca[(row0 + r) * k..(row0 + r + 1) * k];
+        zero_mask_into(&mut za, |p| arow[p] == 0, k);
+        for j in 0..n {
+            gated += gated_count(&za, &zb[j * words..(j + 1) * words]);
+        }
+        simd::dot_int_madd_rows(arow, &cbt[..n * k], out_scale, &mut band[r * n..(r + 1) * n]);
+    }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0, guard_clamps: 0 }
+}
+
+/// Fills one row band of an INT2×INT2 GEMM from packed bit-planes: each
+/// dot product is four AND+popcount passes over `u64` words
+/// ([`crate::bitslice`]), and the zero-gating masks fall out of the planes
+/// for free. Same saturation-free-guard contract as [`madd_band`].
+fn bitslice_band(
+    pa: &bitslice::BitPlanes,
+    pb: &bitslice::BitPlanes,
+    row0: usize,
+    k: usize,
+    n: usize,
+    out_scale: f32,
+    band: &mut [f32],
+) -> GemmStats {
+    let rows = band.len() / n;
+    let words = k.div_ceil(64);
+    let mut zb = vec![0u64; n * words];
+    for j in 0..n {
+        pb.zero_mask_into(j, k, &mut zb[j * words..(j + 1) * words]);
+    }
+    let mut za = vec![0u64; words];
+    let mut gated = 0u64;
+    for r in 0..rows {
+        pa.zero_mask_into(row0 + r, k, &mut za);
+        for j in 0..n {
+            gated += gated_count(&za, &zb[j * words..(j + 1) * words]);
+        }
+        bitslice::dot_planes_row(pa, row0 + r, pb, out_scale, &mut band[r * n..(r + 1) * n]);
+    }
+    GemmStats { macs: (rows * n * k) as u64, zero_gated: gated, saturations: 0, guard_clamps: 0 }
+}
+
 /// Chunk-windowed integer dot product over decoded codes: i32 sums per
 /// chunk window (saturation-free by the caller's guard), i64 outer
 /// accumulation. The window sums are plain multiply-adds the compiler can
@@ -1092,12 +1327,92 @@ pub fn im2col_into(input: &Tensor, kh: usize, kw: usize, spec: ConvSpec, out: &m
     }
 }
 
-/// Reusable scratch buffers for the convolution kernels: holds the im2col
-/// matrix so repeated forward passes (training loops, sweeps) stop paying a
+/// Cache key for one im2col buffer: the full input geometry. Two layers
+/// with different shapes hash to different slots, so alternating layers in
+/// a network no longer thrash a single buffer's reallocation path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ConvKey {
+    in_shape: [usize; 4],
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+}
+
+/// Reusable scratch buffers for the convolution kernels: holds im2col
+/// matrices keyed by input geometry so repeated forward passes (training
+/// loops, sweeps, networks with alternating layer shapes) stop paying a
 /// fresh allocation per call.
 #[derive(Debug, Default, Clone)]
 pub struct ConvScratch {
-    cols: Tensor,
+    /// MRU-ordered `(key, buffer)` slots, at most [`Self::MAX_SLOTS`].
+    slots: Vec<(ConvKey, Tensor)>,
+}
+
+impl ConvScratch {
+    /// Distinct geometries cached before the least-recently-used buffer is
+    /// evicted; generously above any real network's distinct layer shapes.
+    const MAX_SLOTS: usize = 16;
+
+    /// Number of distinct conv geometries currently cached.
+    pub fn cached_shapes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The im2col buffer for this geometry, moved to the front (MRU). A
+    /// new, empty slot is created on first sight; beyond
+    /// [`Self::MAX_SLOTS`] the least-recently-used buffer is evicted.
+    fn cols_slot(&mut self, input: &Tensor, kh: usize, kw: usize, spec: ConvSpec) -> &mut Tensor {
+        let s = input.shape();
+        let key = ConvKey {
+            in_shape: [s[0], s[1], s[2], s[3]],
+            kh,
+            kw,
+            stride: spec.stride,
+            pad: spec.pad,
+        };
+        if let Some(pos) = self.slots.iter().position(|(k, _)| *k == key) {
+            let slot = self.slots.remove(pos);
+            self.slots.insert(0, slot);
+        } else {
+            self.slots.insert(0, (key, Tensor::default()));
+            self.slots.truncate(Self::MAX_SLOTS);
+        }
+        &mut self.slots[0].1
+    }
+}
+
+/// Validated conv operand geometry.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    n: usize,
+    ci: usize,
+    h: usize,
+    w: usize,
+    co: usize,
+    kh: usize,
+    kw: usize,
+}
+
+fn check_conv_shapes(input: &Tensor, weight: &Tensor) -> Result<ConvGeom, NumericsError> {
+    if input.shape().len() != 4
+        || weight.shape().len() != 4
+        || input.shape()[1] != weight.shape()[1]
+    {
+        return Err(NumericsError::ShapeMismatch {
+            expected: "input [n,ci,h,w] × weight [co,ci,kh,kw]".to_string(),
+            actual: format!("input {:?} × weight {:?}", input.shape(), weight.shape()),
+        });
+    }
+    Ok(ConvGeom {
+        n: input.shape()[0],
+        ci: input.shape()[1],
+        h: input.shape()[2],
+        w: input.shape()[3],
+        co: weight.shape()[0],
+        kh: weight.shape()[2],
+        kw: weight.shape()[3],
+    })
 }
 
 /// Reference FP32 convolution: input `[n, ci, h, w]`, weight
@@ -1146,10 +1461,47 @@ pub fn conv2d_emulated_with_scratch(
     chunk_len: usize,
     scratch: &mut ConvScratch,
 ) -> (Tensor, GemmStats) {
-    conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
-        matmul_emulated_checked(mode, cols, wmat, chunk_len)
-    })
-    .expect("inconsistent conv operand shapes")
+    conv2d_emulated_with_simd(input, weight, spec, mode, chunk_len, scratch, SimdMode::from_env())
+        .expect("inconsistent conv operand shapes")
+}
+
+/// [`conv2d_emulated_with_scratch`] under an explicit vectorization
+/// policy. In the SIMD regime the convolution runs panel-packed: the GEMM
+/// is restated per image as `weights [co, ci·kh·kw] × im2col-rowsᵀ`, whose
+/// Bᵀ k-panels *are* the im2col rows, and output panels land directly in
+/// the `[n, co, ho, wo]` layout — no weight transpose, no column-panel
+/// copy, no output rearrange pass. Operand order commutes bit-exactly
+/// (the FP9 product table and lattice products are exact f32 values, and
+/// the chunked accumulation walks the same k order), which the
+/// `fastpath_bitexact` proptests pin against the scalar reference.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on inconsistent operands.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_emulated_with_simd(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    mode: FmaMode,
+    chunk_len: usize,
+    scratch: &mut ConvScratch,
+    simd_mode: SimdMode,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let g = check_conv_shapes(input, weight)?;
+    let hw = spec.out_dim(g.h, g.kh) * spec.out_dim(g.w, g.kw);
+    let macs = (g.n * hw * g.co * g.ci * g.kh * g.kw) as u64;
+    if dispatch::float_use_simd(simd_mode, macs) {
+        conv2d_panels_emulated(input, weight, spec, mode, chunk_len, scratch, simd_mode)
+    } else {
+        conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
+            matmul_emulated_with_simd(mode, cols, wmat, chunk_len, simd_mode)
+        })
+    }
 }
 
 /// Scalar reference for [`conv2d_emulated`] (scalar GEMM underneath); the
@@ -1191,10 +1543,49 @@ pub fn conv2d_int_with_scratch(
     chunk_len: usize,
     scratch: &mut ConvScratch,
 ) -> (Tensor, GemmStats) {
-    conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
-        matmul_int_checked(cols, wmat, qa, qw, chunk_len)
-    })
-    .expect("inconsistent conv operand shapes")
+    conv2d_int_with_simd(input, weight, spec, qa, qw, chunk_len, scratch, SimdMode::from_env())
+        .expect("inconsistent conv operand shapes")
+}
+
+/// [`conv2d_int_with_scratch`] under an explicit vectorization policy,
+/// panel-packed in the SIMD regime like [`conv2d_emulated_with_simd`].
+/// Falls back to the flat GEMM path whenever the chunk guard makes INT16
+/// saturation possible (the saturating accumulator must then be modeled).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::ShapeMismatch`] on inconsistent operands.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` (a configuration bug, not a data error).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_int_with_simd(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    qa: QuantParams,
+    qw: QuantParams,
+    chunk_len: usize,
+    scratch: &mut ConvScratch,
+    simd_mode: SimdMode,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let g = check_conv_shapes(input, weight)?;
+    let hw = spec.out_dim(g.h, g.kh) * spec.out_dim(g.w, g.kw);
+    let kcols = g.ci * g.kh * g.kw;
+    let macs = (g.n * hw * g.co * kcols) as u64;
+    let both_int2 = qa.format() == IntFormat::Int2 && qw.format() == IntFormat::Int2;
+    let kernel = if int_saturation_possible(qa, qw, kcols, chunk_len) {
+        dispatch::IntKernel::Tiled
+    } else {
+        dispatch::int_kernel(simd_mode, macs, kcols, both_int2)
+    };
+    match kernel {
+        dispatch::IntKernel::Tiled => conv2d_via_gemm(input, weight, spec, scratch, |cols, wmat| {
+            matmul_int_with_simd(cols, wmat, qa, qw, chunk_len, simd_mode)
+        }),
+        kernel => conv2d_panels_int(input, weight, spec, qa, qw, scratch, kernel),
+    }
 }
 
 /// Scalar reference for [`conv2d_int`] (scalar GEMM underneath).
@@ -1220,37 +1611,19 @@ fn conv2d_via_gemm(
     scratch: &mut ConvScratch,
     mm: impl Fn(&Tensor, &Tensor) -> Result<(Tensor, GemmStats), NumericsError>,
 ) -> Result<(Tensor, GemmStats), NumericsError> {
-    if input.shape().len() != 4
-        || weight.shape().len() != 4
-        || input.shape()[1] != weight.shape()[1]
-    {
-        return Err(NumericsError::ShapeMismatch {
-            expected: "input [n,ci,h,w] × weight [co,ci,kh,kw]".to_string(),
-            actual: format!("input {:?} × weight {:?}", input.shape(), weight.shape()),
-        });
-    }
-    let (n, _ci, h, w) = (
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
-    );
-    let (co, ci, kh, kw) = (
-        weight.shape()[0],
-        weight.shape()[1],
-        weight.shape()[2],
-        weight.shape()[3],
-    );
-    let ho = spec.out_dim(h, kh);
-    let wo = spec.out_dim(w, kw);
-    im2col_into(input, kh, kw, spec, &mut scratch.cols);
+    let g = check_conv_shapes(input, weight)?;
+    let (n, ci, co, kh, kw) = (g.n, g.ci, g.co, g.kh, g.kw);
+    let ho = spec.out_dim(g.h, kh);
+    let wo = spec.out_dim(g.w, kw);
+    let cols = scratch.cols_slot(input, kh, kw, spec);
+    im2col_into(input, kh, kw, spec, cols);
     #[allow(clippy::expect_used)] // reshape cannot fail: same element count
     let wmat = weight
         .clone()
         .reshape(vec![co, ci * kh * kw])
         .expect("weight reshape is size-preserving")
         .transposed();
-    let (flat, stats) = mm(&scratch.cols, &wmat)?; // [n*ho*wo, co]
+    let (flat, stats) = mm(cols, &wmat)?; // [n*ho*wo, co]
     // Rearrange [n*ho*wo, co] -> [n, co, ho, wo] with flat indexing.
     let mut out = Tensor::zeros(vec![n, co, ho, wo]);
     let od = out.as_mut_slice();
@@ -1263,6 +1636,152 @@ fn conv2d_via_gemm(
             for s in 0..hw {
                 od[dst + s] = fd[(src + s) * co + c];
             }
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Panel-packed emulated float convolution (see
+/// [`conv2d_emulated_with_simd`]): per image `i`,
+/// `out[i] = weights [co, K'] × cols_rows(i)ᵀ` computed band-parallel over
+/// output channels, writing straight into the `[n, co, ho, wo]` buffer.
+/// The product LUT is built as `(fb, fa)` because the weight code now
+/// indexes the high byte; FP9 products commute exactly, so the result is
+/// bit-identical to the flat-GEMM orientation.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_panels_emulated(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    mode: FmaMode,
+    chunk_len: usize,
+    scratch: &mut ConvScratch,
+    simd_mode: SimdMode,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    assert!(chunk_len > 0, "chunk length must be positive");
+    let g = check_conv_shapes(input, weight)?;
+    let ho = spec.out_dim(g.h, g.kh);
+    let wo = spec.out_dim(g.w, g.kw);
+    let hw = ho * wo;
+    let kcols = g.ci * g.kh * g.kw;
+    let cols = scratch.cols_slot(input, g.kh, g.kw, spec);
+    im2col_into(input, g.kh, g.kw, spec, cols);
+    let (fa, fb) = mode.operand_formats();
+    let wmat = weight.clone().reshape(vec![g.co, kcols])?;
+    let qw = QTensor::quantize(&wmat, fb);
+    let qc = QTensor::quantize(cols, fa);
+    let mut out = Tensor::zeros(vec![g.n, g.co, ho, wo]);
+    if out.as_slice().is_empty() {
+        return Ok((out, GemmStats::default()));
+    }
+    let use_simd = dispatch::float_use_simd(simd_mode, (g.n * hw * g.co * kcols) as u64);
+    let mut stats = GemmStats::default();
+    let od = out.as_mut_slice();
+    match (qw.codes(), qc.codes()) {
+        (Some(wc), Some(cc)) => {
+            let lut = product_lut(fb, fa);
+            let products: Vec<f32> =
+                lut.products().iter().map(|&p| if p == 0.0 { -0.0 } else { p }).collect();
+            // Decoded FP9 weight values for the SIMD kernel (see the GEMM
+            // LUT branch); the per-image column panels are decoded inside
+            // the loop as they are interleaved.
+            let wv: Option<Vec<f32>> = (use_simd && hw >= simd::GROUP).then(|| {
+                let ia = lut.a_operands();
+                wc.iter().map(|&c| ia[usize::from(c)]).collect()
+            });
+            for i in 0..g.n {
+                let bt = &cc[i * hw * kcols..(i + 1) * hw * kcols];
+                let binter = wv.as_ref().map(|_| {
+                    let ib = lut.b_operands();
+                    let btv: Vec<f32> = bt.iter().map(|&c| ib[usize::from(c)]).collect();
+                    interleave_groups(&btv, kcols, hw)
+                });
+                let band_out = &mut od[i * g.co * hw..(i + 1) * g.co * hw];
+                let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                    let fdec = wv
+                        .as_ref()
+                        .zip(binter.as_ref())
+                        .map(|(av, bi)| (av.as_slice(), bi.as_slice()));
+                    lut_band(wc, bt, fdec, &products, row0, kcols, hw, chunk_len, band)
+                };
+                stats.merge(par_rows(band_out, g.co, hw, kcols, &work));
+            }
+        }
+        _ => {
+            let wv = qw.values().as_slice();
+            let cv = qc.values().as_slice();
+            for i in 0..g.n {
+                let bt = &cv[i * hw * kcols..(i + 1) * hw * kcols];
+                let binter =
+                    (use_simd && hw >= simd::GROUP).then(|| interleave_groups(bt, kcols, hw));
+                let band_out = &mut od[i * g.co * hw..(i + 1) * g.co * hw];
+                let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                    fp16_band(wv, bt, binter.as_deref(), row0, kcols, hw, chunk_len, band)
+                };
+                stats.merge(par_rows(band_out, g.co, hw, kcols, &work));
+            }
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Panel-packed integer convolution: same orientation as
+/// [`conv2d_panels_emulated`], with whole-k madd or bit-sliced dot
+/// products. Only called when the chunk guard rules out INT16 saturation,
+/// so `kernel` is never [`dispatch::IntKernel::Tiled`].
+fn conv2d_panels_int(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    qa: QuantParams,
+    qw: QuantParams,
+    scratch: &mut ConvScratch,
+    kernel: dispatch::IntKernel,
+) -> Result<(Tensor, GemmStats), NumericsError> {
+    let g = check_conv_shapes(input, weight)?;
+    let ho = spec.out_dim(g.h, g.kh);
+    let wo = spec.out_dim(g.w, g.kw);
+    let hw = ho * wo;
+    let kcols = g.ci * g.kh * g.kw;
+    let cols = scratch.cols_slot(input, g.kh, g.kw, spec);
+    im2col_into(input, g.kh, g.kw, spec, cols);
+    // Weight is already [co][ci·kh·kw] row-major; quantize both flat.
+    let mut cw = Vec::new();
+    let mut cc = Vec::new();
+    qw.quantize_slice_into(weight.as_slice(), &mut cw);
+    qa.quantize_slice_into(cols.as_slice(), &mut cc);
+    // Same expression (and f32 rounding) as the flat path's
+    // `qa.scale() * qb.scale()` with A = cols, B = weights.
+    let out_scale = qa.scale() * qw.scale();
+    let mut out = Tensor::zeros(vec![g.n, g.co, ho, wo]);
+    if out.as_slice().is_empty() {
+        return Ok((out, GemmStats::default()));
+    }
+    let mut stats = GemmStats::default();
+    let od = out.as_mut_slice();
+    if kernel == dispatch::IntKernel::BitSliced {
+        let pw = bitslice::BitPlanes::pack(&cw, g.co, kcols, qw.signedness());
+        for i in 0..g.n {
+            let pc = bitslice::BitPlanes::pack(
+                &cc[i * hw * kcols..(i + 1) * hw * kcols],
+                hw,
+                kcols,
+                qa.signedness(),
+            );
+            let band_out = &mut od[i * g.co * hw..(i + 1) * g.co * hw];
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                bitslice_band(&pw, &pc, row0, kcols, hw, out_scale, band)
+            };
+            stats.merge(par_rows(band_out, g.co, hw, kcols, &work));
+        }
+    } else {
+        for i in 0..g.n {
+            let bt = &cc[i * hw * kcols..(i + 1) * hw * kcols];
+            let band_out = &mut od[i * g.co * hw..(i + 1) * g.co * hw];
+            let work = |row0: usize, band: &mut [f32]| -> GemmStats {
+                madd_band(&cw, bt, row0, kcols, hw, out_scale, band)
+            };
+            stats.merge(par_rows(band_out, g.co, hw, kcols, &work));
         }
     }
     Ok((out, stats))
@@ -1501,6 +2020,41 @@ mod tests {
             conv2d_emulated_with_scratch(&input, &weight, spec, mode, 64, &mut scratch);
         assert_bits_eq(&fresh, &reused);
         assert_eq!(fresh_stats, reused_stats);
+    }
+
+    /// Alternating layer geometries each keep their own im2col slot (no
+    /// reallocation thrash), and the slot count is bounded by the LRU cap.
+    #[test]
+    fn conv_scratch_caches_per_shape_and_evicts_lru() {
+        let weight = Tensor::random_uniform(vec![2, 3, 3, 3], -0.5, 0.5, 60);
+        let mode = FmaMode::Fp16;
+        let mut scratch = ConvScratch::default();
+        let big = Tensor::random_uniform(vec![1, 3, 8, 8], -1.0, 1.0, 61);
+        let small = Tensor::random_uniform(vec![1, 3, 5, 5], -1.0, 1.0, 62);
+        for _ in 0..3 {
+            let _ = conv2d_emulated_with_scratch(&big, &weight, ConvSpec::unit(), mode, 64, &mut scratch);
+            let _ =
+                conv2d_emulated_with_scratch(&small, &weight, ConvSpec::unit(), mode, 64, &mut scratch);
+        }
+        // Two geometries, two slots — revisits hit their cached buffers.
+        assert_eq!(scratch.cached_shapes(), 2);
+        // A distinct pad makes a distinct key even at the same input shape.
+        let _ = conv2d_emulated_with_scratch(
+            &small,
+            &weight,
+            ConvSpec { stride: 1, pad: 1 },
+            mode,
+            64,
+            &mut scratch,
+        );
+        assert_eq!(scratch.cached_shapes(), 3);
+        // Flooding with fresh geometries caps the cache at the LRU bound.
+        for h in 0..24 {
+            let input = Tensor::random_uniform(vec![1, 3, 9 + h, 9], -1.0, 1.0, 63);
+            let _ =
+                conv2d_emulated_with_scratch(&input, &weight, ConvSpec::unit(), mode, 64, &mut scratch);
+        }
+        assert_eq!(scratch.cached_shapes(), ConvScratch::MAX_SLOTS);
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //! * [`gemm`] — emulated GEMM and convolution kernels for every supported
 //!   precision, returning both numeric results and datapath statistics
 //!   (MAC counts, zero-gated MACs) consumed by the power model.
+//! * [`dispatch`] — runtime kernel-backend selection (`RAPID_SIMD`
+//!   knob + CPU capability detection) between the portable tiled fast
+//!   paths, the AVX2 vector kernels and the bit-sliced INT2 kernel, plus
+//!   the [`kernel_matrix`] telemetry report.
 //! * [`guard`] — numeric guard policies ([`GuardPolicy`]) applied by the
 //!   fault-injectable kernel variants ([`gemm::matmul_emulated_guarded`],
 //!   [`gemm::matmul_int_guarded`]) when an accumulator goes non-finite or
@@ -58,6 +62,8 @@
 
 pub mod abft;
 pub mod accumulate;
+pub(crate) mod bitslice;
+pub mod dispatch;
 pub mod error;
 pub mod fma;
 pub mod format;
@@ -67,10 +73,12 @@ pub mod int;
 pub mod lut;
 pub mod qtensor;
 pub mod sfu;
+pub(crate) mod simd;
 pub mod tensor;
 pub mod types;
 
 pub use abft::{abft_matmul_emulated, abft_matmul_int, AbftReport};
+pub use dispatch::{kernel_matrix, kernel_matrix_at, KernelBackend, KernelChoice, SimdMode};
 pub use error::NumericsError;
 pub use format::FpFormat;
 pub use guard::GuardPolicy;

@@ -62,6 +62,11 @@ pub fn is_zero_code(code: u8) -> bool {
 #[derive(Debug, Clone)]
 pub struct ProductLut {
     products: Box<[f32]>,
+    /// FP9-converted A-operand values, indexed by code — the exact left
+    /// factors the product table was built from.
+    a_operands: [f32; 256],
+    /// FP9-converted B-operand values, indexed by code.
+    b_operands: [f32; 256],
 }
 
 impl ProductLut {
@@ -85,7 +90,11 @@ impl ProductLut {
                 products[(ca << 8) | cb] = a9 * b9;
             }
         }
-        Self { products }
+        let mut a_operands = [0.0f32; 256];
+        a_operands.copy_from_slice(&ia);
+        let mut b_operands = [0.0f32; 256];
+        b_operands.copy_from_slice(&ib);
+        Self { products, a_operands, b_operands }
     }
 
     /// The product for A-code `ca` and B-code `cb`.
@@ -97,6 +106,24 @@ impl ProductLut {
     /// The full 64K product table, indexed by `(ca << 8) | cb`.
     pub fn products(&self) -> &[f32] {
         &self.products
+    }
+
+    /// The 256 FP9-converted A-operand values, indexed by code.
+    ///
+    /// These are the exact left factors of [`Self::products`]:
+    /// `product(ca, cb) == a_operands()[ca] * b_operands()[cb]` holds
+    /// bit-for-bit, because the table entry *is* that f32 multiply and
+    /// IEEE multiplication is deterministic. Vector kernels exploit the
+    /// identity to trade the per-step table gather for a multiply of
+    /// pre-decoded operands.
+    pub fn a_operands(&self) -> &[f32; 256] {
+        &self.a_operands
+    }
+
+    /// The 256 FP9-converted B-operand values, indexed by code (see
+    /// [`Self::a_operands`]).
+    pub fn b_operands(&self) -> &[f32; 256] {
+        &self.b_operands
     }
 }
 
@@ -152,6 +179,26 @@ mod tests {
                 let expect =
                     fp9.quantize(fa.decode(u32::from(ca))) * fp9.quantize(fb.decode(u32::from(cb)));
                 assert_eq!(lut.product(ca, cb).to_bits(), expect.to_bits());
+            }
+        }
+    }
+
+    /// Every table entry factors bit-exactly into the exposed operand
+    /// tables — the identity the vector kernels' decode-and-multiply path
+    /// rests on.
+    #[test]
+    fn products_factor_into_operand_tables() {
+        for (fa, fb) in [
+            (FpFormat::fp8_e4m3(), FpFormat::fp8_e5m2()),
+            (FpFormat::fp8_e4m3_with_bias(11).unwrap(), FpFormat::fp8_e4m3()),
+        ] {
+            let lut = ProductLut::new(fa, fb);
+            let (ia, ib) = (lut.a_operands(), lut.b_operands());
+            for ca in 0..=255u8 {
+                for cb in 0..=255u8 {
+                    let expect = ia[usize::from(ca)] * ib[usize::from(cb)];
+                    assert_eq!(lut.product(ca, cb).to_bits(), expect.to_bits());
+                }
             }
         }
     }

@@ -11,11 +11,13 @@ use proptest::prelude::*;
 use rapid_numerics::fma::FmaMode;
 use rapid_numerics::format::FpFormat;
 use rapid_numerics::gemm::{
-    conv2d_emulated, conv2d_emulated_scalar, conv2d_int, conv2d_int_scalar, matmul_emulated,
-    matmul_emulated_scalar, matmul_int, matmul_int_scalar, ConvSpec,
+    conv2d_emulated, conv2d_emulated_scalar, conv2d_emulated_with_simd, conv2d_int,
+    conv2d_int_scalar, conv2d_int_with_simd, matmul_emulated, matmul_emulated_scalar,
+    matmul_emulated_with_simd, matmul_int, matmul_int_scalar, matmul_int_with_simd, ConvScratch,
+    ConvSpec,
 };
 use rapid_numerics::int::{IntFormat, QuantParams, Signedness};
-use rapid_numerics::Tensor;
+use rapid_numerics::{SimdMode, Tensor};
 
 /// Random tensor with roughly a third of the entries zeroed, so zero-gating
 /// statistics are exercised alongside the numerics.
@@ -122,6 +124,97 @@ proptest! {
         let (scalar, scalar_stats) = matmul_int_scalar(&a, &b, qa, qb, chunk_len);
         assert_bits_eq(&fast, &scalar);
         prop_assert_eq!(fast_stats, scalar_stats);
+    }
+
+    /// Float GEMM under every explicit backend pin. `SimdMode::Force`
+    /// engages the AVX2 kernels even below the auto threshold, so the
+    /// column range spans the 64-column wide kernel, the 16-column cleanup
+    /// kernel and the scalar column tail in a single shape; `SimdMode::Off`
+    /// pins the portable tiled path. All float modes (FP16, HFP8 fwd with
+    /// programmable biases, HFP8 bwd), depths away from lane multiples, and
+    /// a B operand materialized from a transpose so panel packing sees
+    /// transposed data.
+    #[test]
+    fn float_gemm_bit_exact_across_backends(
+        (m, k, n) in (1usize..5, 1usize..70, 1usize..100),
+        mode_idx in 0u8..4,
+        bias_a in 4i32..=10,
+        bias_b in 4i32..=10,
+        chunk_len in 1usize..80,
+        seed in 0u64..1_000_000,
+    ) {
+        let mode = mode_from(mode_idx, bias_a, bias_b);
+        let a = sparse_mat(vec![m, k], seed, -600.0, 600.0);
+        let b = sparse_mat(vec![n, k], seed.wrapping_add(1), -600.0, 600.0).transposed();
+        let (scalar, scalar_stats) = matmul_emulated_scalar(mode, &a, &b, chunk_len);
+        for simd in [SimdMode::Force, SimdMode::Off] {
+            let (fast, fast_stats) =
+                matmul_emulated_with_simd(mode, &a, &b, chunk_len, simd).unwrap();
+            assert_bits_eq(&fast, &scalar);
+            prop_assert_eq!(fast_stats, scalar_stats, "{:?}", simd);
+        }
+    }
+
+    /// Integer GEMM under every explicit backend pin: bit-sliced popcount
+    /// (INT2×INT2), widening madd (other pairs) and the tiled windowed
+    /// path must all reproduce the IntAccumulator reference, including
+    /// chunk lengths long enough that the saturation guard forces the
+    /// scalar accumulator regardless of the pin.
+    #[test]
+    fn int_gemm_bit_exact_across_backends(
+        (m, k, n) in (1usize..4, 1usize..80, 1usize..100),
+        fmt_a in 0u8..4,
+        fmt_b in 0u8..4,
+        chunk_len in 1usize..1500,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = sparse_mat(vec![m, k], seed, -2.0, 2.0);
+        let b = sparse_mat(vec![n, k], seed.wrapping_add(1), -2.0, 2.0).transposed();
+        let qa = int_params_from(fmt_a, a.max_abs());
+        let qb = int_params_from(fmt_b, b.max_abs());
+        let (scalar, scalar_stats) = matmul_int_scalar(&a, &b, qa, qb, chunk_len);
+        for simd in [SimdMode::Force, SimdMode::Off] {
+            let (fast, fast_stats) = matmul_int_with_simd(&a, &b, qa, qb, chunk_len, simd).unwrap();
+            assert_bits_eq(&fast, &scalar);
+            prop_assert_eq!(fast_stats, scalar_stats, "{:?}", simd);
+        }
+    }
+
+    /// Convolution under every explicit backend pin: the panel-packed
+    /// float and integer convolutions (spatial sizes crossing the 16- and
+    /// 64-column kernel widths) match the scalar convolution bit-for-bit
+    /// with SIMD forced and with it pinned off.
+    #[test]
+    fn conv_bit_exact_across_backends(
+        (ni, ci, co) in (1usize..3, 1usize..4, 1usize..5),
+        (h, w) in (4usize..11, 4usize..11),
+        (kh, kw) in (1usize..4, 1usize..4),
+        stride in 1usize..3,
+        pad in 0usize..2,
+        mode_idx in 0u8..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let spec = ConvSpec { stride, pad };
+        let input = sparse_mat(vec![ni, ci, h, w], seed, -2.0, 2.0);
+        let weight = sparse_mat(vec![co, ci, kh, kw], seed.wrapping_add(1), -1.0, 1.0);
+        let mode = mode_from(mode_idx, 7, 7);
+        let (scalar, scalar_stats) = conv2d_emulated_scalar(&input, &weight, spec, mode, 16);
+        let qa = int_params_from(mode_idx, input.max_abs());
+        let qw = int_params_from(mode_idx.wrapping_add(1), weight.max_abs());
+        let (iscalar, iscalar_stats) = conv2d_int_scalar(&input, &weight, spec, qa, qw, 16);
+        for simd in [SimdMode::Force, SimdMode::Off] {
+            let mut scratch = ConvScratch::default();
+            let (fast, fast_stats) =
+                conv2d_emulated_with_simd(&input, &weight, spec, mode, 16, &mut scratch, simd)
+                    .unwrap();
+            assert_bits_eq(&fast, &scalar);
+            prop_assert_eq!(fast_stats, scalar_stats, "{:?}", simd);
+            let (ifast, ifast_stats) =
+                conv2d_int_with_simd(&input, &weight, spec, qa, qw, 16, &mut scratch, simd)
+                    .unwrap();
+            assert_bits_eq(&ifast, &iscalar);
+            prop_assert_eq!(ifast_stats, iscalar_stats, "{:?}", simd);
+        }
     }
 
     /// Convolution: im2col scratch reuse + fast GEMM is bit-exact against

@@ -14,6 +14,11 @@
 #                                 protection-touched crates, a timed
 #                                 protection_sweep smoke with --json, and
 #                                 schema validation of its record
+#   scripts/check.sh --simd       SIMD gate only: clippy on the kernel
+#                                 crates, the bit-exactness proptests under
+#                                 RAPID_SIMD=force and RAPID_SIMD=off, and
+#                                 a timed kernel_speed smoke (which asserts
+#                                 bit-exactness inline)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,6 +73,17 @@ protection_gate() {
         || { echo "record is missing the ABFT correction counter"; exit 1; }
 }
 
+simd_gate() {
+    echo "== cargo clippy on the kernel crates (deny warnings) =="
+    cargo clippy -p rapid-numerics -p rapid-bench --all-targets -- -D warnings
+    echo "== fastpath_bitexact proptests under RAPID_SIMD=force and =off =="
+    cargo build --release -p rapid-bench --bin kernel_speed
+    RAPID_SIMD=force cargo test --release -p rapid-numerics --test fastpath_bitexact -q
+    RAPID_SIMD=off cargo test --release -p rapid-numerics --test fastpath_bitexact -q
+    echo "== kernel_speed --smoke (hard 120s timeout; asserts bit-exactness inline) =="
+    timeout 120 ./target/release/kernel_speed --smoke
+}
+
 if [[ "${1:-}" == "--recovery" ]]; then
     recovery_gate
     echo "Recovery checks passed."
@@ -86,6 +102,12 @@ if [[ "${1:-}" == "--protection" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--simd" ]]; then
+    simd_gate
+    echo "SIMD checks passed."
+    exit 0
+fi
+
 echo "== cargo build --workspace --release =="
 cargo build --workspace --release
 
@@ -101,5 +123,6 @@ timeout 120 ./target/release/fault_sweep --smoke
 recovery_gate
 telemetry_gate
 protection_gate
+simd_gate
 
 echo "All checks passed."
