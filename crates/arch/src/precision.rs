@@ -21,7 +21,12 @@ pub enum Pipeline {
 }
 
 /// A compute precision supported by the RaPiD core.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The declaration order doubles as the serving quality order: variants
+/// compare from highest precision (`Fp32`) down to lowest (`Int2`), so
+/// `a < b` means `a` is the higher-quality tier — the ordering the
+/// precision-tiered load shedder walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Precision {
     /// 32-bit IEEE floating point (SFU only; selected ops).
     Fp32,

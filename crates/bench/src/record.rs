@@ -66,6 +66,11 @@ impl BenchRecord {
         };
         r.config_num("threads", crate::num_threads() as f64);
         r.config_num("fault_seed", FaultConfig::seed_from_env(0) as f64);
+        // Kernel-dispatch provenance: the resolved RAPID_SIMD knob and
+        // what the CPU actually offers, so records from different hosts
+        // or env settings are distinguishable after the fact.
+        r.config_str("simd_mode", rapid_numerics::SimdMode::from_env().as_str());
+        r.put_config("simd_detected", Json::Bool(rapid_numerics::dispatch::simd_available()));
         r
     }
 
@@ -218,6 +223,19 @@ mod tests {
         let config = j.get("config").and_then(Json::as_obj).expect("config");
         let batch = config.iter().find(|(k, _)| k == "batch").expect("batch");
         assert_eq!(batch.1.as_f64(), Some(8.0));
+    }
+
+    #[test]
+    fn simd_provenance_is_stamped_into_every_record() {
+        let r = BenchRecord::new("unit_test");
+        let j = r.to_json();
+        let config = j.get("config").and_then(Json::as_obj).expect("config obj");
+        let mode = config.iter().find(|(k, _)| k == "simd_mode").expect("simd_mode present");
+        assert!(matches!(mode.1.as_str(), Some("auto" | "force" | "off")));
+        let detected =
+            config.iter().find(|(k, _)| k == "simd_detected").expect("simd_detected present");
+        assert!(matches!(detected.1, Json::Bool(_)));
+        validate_bench_record(&j).expect("record with simd stamp must validate");
     }
 
     #[test]

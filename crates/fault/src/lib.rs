@@ -171,6 +171,12 @@ pub struct FaultConfig {
     /// built to absorb. The flip hits a uniformly chosen word and a
     /// uniformly chosen bit of its 39-bit SECDED codeword.
     pub spad_flip_rate: f64,
+    /// Probability (per served inference batch) that execution suffers a
+    /// transient, retryable failure — a chip-level hiccup (watchdog
+    /// recovery, sequencer restart) that the serving layer is expected to
+    /// absorb with bounded retry-with-backoff rather than surface to the
+    /// client.
+    pub serve_transient_rate: f64,
     /// Bitmask of permanently failed cores (bit `i` set ⇒ core `i` is
     /// dead). A failed core takes no work: the chip-level simulators remap
     /// its partition across the survivors and the analytical model charges
@@ -196,6 +202,7 @@ impl Default for FaultConfig {
             seq_stall_rate: 0.0,
             seq_stall_cycles: 32,
             spad_flip_rate: 0.0,
+            serve_transient_rate: 0.0,
             core_failed_mask: 0,
             max_trace_events: 4096,
         }
@@ -223,6 +230,7 @@ impl FaultConfig {
             || self.ring_corrupt_rate > 0.0
             || self.seq_stall_rate > 0.0
             || self.spad_flip_rate > 0.0
+            || self.serve_transient_rate > 0.0
             || self.core_failed_mask != 0
     }
 
@@ -267,6 +275,8 @@ pub enum FaultEvent {
     SeqStall(u64, u32),
     /// A scratchpad soft error: `(site index, word address, codeword bit)`.
     SpadFlip(u64, u64, u32),
+    /// A transient serving-batch execution failure at draw index `site`.
+    ServeTransient(u64),
 }
 
 /// Totals per injector, cheap to compare and report.
@@ -292,6 +302,8 @@ pub struct FaultCounts {
     pub seq_stalls: u64,
     /// Scratchpad word bit upsets injected.
     pub spad_flips: u64,
+    /// Transient serving-batch execution failures injected.
+    pub serve_transients: u64,
 }
 
 impl FaultCounts {
@@ -308,6 +320,7 @@ impl FaultCounts {
         reg.add(&format!("{prefix}.ring_corruptions"), self.ring_corruptions);
         reg.add(&format!("{prefix}.seq_stalls"), self.seq_stalls);
         reg.add(&format!("{prefix}.spad_flips"), self.spad_flips);
+        reg.add(&format!("{prefix}.serve_transients"), self.serve_transients);
     }
 }
 
@@ -315,7 +328,7 @@ impl fmt::Display for FaultCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips",
+            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips; {} serve transients",
             self.mac_operand_flips,
             self.mac_acc_flips,
             self.int_code_flips,
@@ -326,6 +339,7 @@ impl fmt::Display for FaultCounts {
             self.ring_corruptions,
             self.seq_stalls,
             self.spad_flips,
+            self.serve_transients,
         )
     }
 }
@@ -343,10 +357,12 @@ pub struct FaultPlan {
     ring_rng: XorShift64,
     seq_rng: XorShift64,
     mem_rng: XorShift64,
+    serve_rng: XorShift64,
     mac_sites: u64,
     ring_sites: u64,
     seq_sites: u64,
     mem_sites: u64,
+    serve_sites: u64,
     trace: Vec<FaultEvent>,
     counts: FaultCounts,
 }
@@ -361,10 +377,12 @@ impl FaultPlan {
             ring_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5249_4E47),
             seq_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0053_4551),
             mem_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x004D_454D),
+            serve_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5352_5645),
             mac_sites: 0,
             ring_sites: 0,
             seq_sites: 0,
             mem_sites: 0,
+            serve_sites: 0,
             trace: Vec::new(),
             counts: FaultCounts::default(),
         }
@@ -410,6 +428,11 @@ impl FaultPlan {
     /// Whether the ring payload-corruption injector can fire.
     pub fn ring_corrupt_enabled(&self) -> bool {
         self.cfg.ring_corrupt_rate > 0.0
+    }
+
+    /// Whether the serving transient-failure injector can fire.
+    pub fn serve_enabled(&self) -> bool {
+        self.cfg.serve_transient_rate > 0.0
     }
 
     /// Whether core `i` is marked permanently failed by this plan.
@@ -569,6 +592,20 @@ impl FaultPlan {
         Some((addr, bit))
     }
 
+    /// Draws whether one served inference batch suffers a transient,
+    /// retryable execution failure. The serving worker pool polls this
+    /// once per batch attempt; a `true` means the attempt is lost and the
+    /// batch should go through the retry-with-backoff path.
+    pub fn serve_transient(&mut self) -> bool {
+        self.serve_sites += 1;
+        if !self.serve_rng.chance(self.cfg.serve_transient_rate) {
+            return false;
+        }
+        self.counts.serve_transients += 1;
+        self.record(FaultEvent::ServeTransient(self.serve_sites - 1));
+        true
+    }
+
     /// Draws whether the sequencers stall this cycle, and for how long.
     pub fn seq_stall(&mut self) -> Option<u32> {
         self.seq_sites += 1;
@@ -603,6 +640,7 @@ mod tests {
             assert_eq!(plan.ring_corrupt(1024), None);
             assert_eq!(plan.seq_stall(), None);
             assert_eq!(plan.spad_flip(4096), None);
+            assert!(!plan.serve_transient());
         }
         assert_eq!(plan.counts(), FaultCounts::default());
         assert!(plan.trace().is_empty());
@@ -762,6 +800,35 @@ mod tests {
         let fa: Vec<_> = (0..64).map(|_| a.spad_flip(128)).collect();
         let fb: Vec<_> = (0..64).map(|_| b.spad_flip(128)).collect();
         assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn serve_transients_are_deterministic_decoupled_and_counted() {
+        let cfg = FaultConfig {
+            seed: 13,
+            serve_transient_rate: 0.25,
+            mac_operand_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.enabled());
+        let run = |burn_macs: usize| {
+            let mut plan = FaultPlan::new(cfg);
+            for i in 0..burn_macs {
+                plan.mac_operand(i as f32);
+            }
+            let draws: Vec<bool> = (0..400).map(|_| plan.serve_transient()).collect();
+            (draws, plan.counts().serve_transients)
+        };
+        // Same seed → same draws; the serve stream must not depend on how
+        // many MAC draws happened first.
+        let (d1, c1) = run(0);
+        let (d2, _) = run(100);
+        assert_eq!(d1, d2);
+        let hits = d1.iter().filter(|&&b| b).count() as u64;
+        assert_eq!(c1, hits);
+        assert!((50..150).contains(&hits), "rate 0.25 over 400 draws: {hits}");
+        assert!(FaultPlan::new(cfg).serve_enabled());
+        assert!(!FaultPlan::disabled().serve_enabled());
     }
 
     #[test]

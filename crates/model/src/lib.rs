@@ -39,6 +39,7 @@
 
 pub mod cost;
 pub mod inference;
+pub mod latency;
 pub mod protection;
 pub mod report;
 pub mod scaling;
@@ -47,6 +48,7 @@ pub mod training;
 
 pub use cost::{CycleBreakdown, EnergyLedger, ModelConfig};
 pub use inference::{evaluate_inference, InferenceResult};
+pub use latency::{LatencyEntry, LatencyTable, SERVING_PRECISIONS};
 pub use protection::{protection_tax, ProtectionTax};
 pub use report::{layer_reports, LayerReport};
 pub use scaling::{

@@ -20,6 +20,7 @@
 //! | [`quant`] | `rapid-quant` | PACT, SaWB, magnitude pruning |
 //! | [`refnet`] | `rapid-refnet` | reference trainer demonstrating HFP8 parity and INT4/INT2 PTQ |
 //! | [`recover`] | `rapid-recover` | end-to-end recovery: checksummed checkpoints, loss-scale rollback, redundant-execution training |
+//! | [`serve`] | `rapid-serve` | overload-hardened serving runtime: admission control, deadline propagation, precision-tiered shedding, circuit breaking |
 //! | [`telemetry`] | `rapid-telemetry` | unified metrics registry, Chrome-trace cycle tracer, bench JSON schemas |
 //!
 //! # Quickstart
@@ -49,6 +50,7 @@ pub use rapid_quant as quant;
 pub use rapid_recover as recover;
 pub use rapid_refnet as refnet;
 pub use rapid_ring as ring;
+pub use rapid_serve as serve;
 pub use rapid_sim as sim;
 pub use rapid_telemetry as telemetry;
 pub use rapid_workloads as workloads;

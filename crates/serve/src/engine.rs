@@ -1,0 +1,917 @@
+//! The deterministic serving engine: bounded queue → admission control →
+//! continuous batcher → execution accounting, over an explicit
+//! microsecond clock.
+//!
+//! The engine owns **no threads and no clock**. Every method takes
+//! `now_us`; the virtual-time sweep driver advances it event-by-event
+//! (bit-reproducible chaos tests), while the threaded [`Server`] feeds it
+//! wall-clock micros under a mutex. Both therefore run the *same* state
+//! machines — the chaos results transfer.
+//!
+//! Robustness invariants, enforced by construction:
+//!
+//! - **Conservation**: every submitted request flows through the single
+//!   [`ServeEngine::finish`] path exactly once —
+//!   `completed + rejected + shed + timed_out == submitted` after drain.
+//! - **No late deliveries**: a completion past its deadline is converted
+//!   to `TimedOut(Exec)` before it reaches the client, unconditionally.
+//!   `serve.deadline_violations` counts any escape and must stay 0.
+//! - **Deadline propagation**: with [`ServeConfig::deadline_propagation`]
+//!   on, expired requests are dropped at every stage boundary (queue
+//!   scan, batch formation, retry dispatch) instead of being executed.
+//!
+//! [`Server`]: crate::server::Server
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rapid_model::LatencyTable;
+use rapid_telemetry::serve as names;
+use rapid_telemetry::{MetricsRegistry, ServeCounters};
+
+use crate::breaker::{Admit, BreakerConfig, CircuitBreaker};
+use crate::request::{
+    Batch, Outcome, QosClass, RejectReason, Request, RequestId, Response, Tier, TimeoutStage,
+};
+use crate::session::SessionError;
+use crate::shed::{ShedConfig, ShedController};
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bounded request-queue capacity (total across models and tiers).
+    pub queue_cap: usize,
+    /// Maximum requests per formed batch.
+    pub batch_max: usize,
+    /// Microseconds a partial batch waits for more members.
+    pub batch_window_us: u64,
+    /// Whether the admission controller rejects infeasible deadlines.
+    pub admission: bool,
+    /// Safety factor on the admission latency estimate (≥ 1.0 rejects
+    /// earlier).
+    pub admission_slack: f64,
+    /// Whether expired requests are dropped at stage boundaries.
+    pub deadline_propagation: bool,
+    /// Overload shedding controller; `None` disables downgrades and
+    /// shedding entirely.
+    pub shed: Option<ShedConfig>,
+    /// Per-model circuit breaker; `None` disables breaking.
+    pub breaker: Option<BreakerConfig>,
+    /// Maximum retry attempts per batch after a failed execution.
+    pub retry_max: u32,
+    /// Base retry backoff, microseconds (doubles per attempt).
+    pub retry_backoff_us: u64,
+    /// Parallel executors the admission estimate divides backlog across.
+    pub workers: usize,
+    /// Microseconds the shutdown drain waits before aborting leftovers.
+    pub drain_timeout_us: u64,
+    /// Record batch compositions for determinism tests.
+    pub record_batches: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 256,
+            batch_max: 8,
+            batch_window_us: 2_000,
+            admission: true,
+            admission_slack: 1.2,
+            deadline_propagation: true,
+            shed: Some(ShedConfig::default()),
+            breaker: Some(BreakerConfig::default()),
+            retry_max: 2,
+            retry_backoff_us: 500,
+            workers: 4,
+            drain_timeout_us: 200_000,
+            record_batches: false,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The full overload-hardened stack (all defenses on).
+    pub fn hardened() -> Self {
+        Self::default()
+    }
+
+    /// Admission control and deadline propagation, but no precision
+    /// shedding — the middle rung of the E21 overload experiment.
+    pub fn admission_only() -> Self {
+        Self { shed: None, ..Self::default() }
+    }
+
+    /// No admission, no deadline propagation, no shedding, no breaker:
+    /// workers happily execute stale work. The collapse baseline. (Late
+    /// completions are still never *delivered* — they convert to
+    /// timeouts — so even this config cannot violate a deadline.)
+    pub fn naive() -> Self {
+        Self {
+            admission: false,
+            deadline_propagation: false,
+            shed: None,
+            breaker: None,
+            ..Self::default()
+        }
+    }
+}
+
+/// A queued request plus its cached admission-time work estimate.
+#[derive(Debug, Clone)]
+struct Queued {
+    req: Request,
+    est_us: f64,
+    enqueued_us: u64,
+}
+
+/// A failed batch waiting out its retry backoff.
+#[derive(Debug, Clone)]
+struct RetryEntry {
+    batch: Batch,
+    eligible_us: u64,
+}
+
+/// One formed batch, as recorded for the determinism proptests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLogEntry {
+    /// Batch identifier.
+    pub batch_id: u64,
+    /// Model the batch ran.
+    pub model: String,
+    /// Effective execution tier.
+    pub tier: Tier,
+    /// Member request ids, in dequeue order.
+    pub request_ids: Vec<RequestId>,
+    /// Clock at formation.
+    pub formed_us: u64,
+}
+
+/// The clock-explicit serving state machine. See the module docs.
+#[derive(Debug)]
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    table: LatencyTable,
+    queues: BTreeMap<(String, Tier), VecDeque<Queued>>,
+    queued_total: usize,
+    queued_work_us: f64,
+    shed: Option<ShedController>,
+    breakers: BTreeMap<String, CircuitBreaker>,
+    retries: VecDeque<RetryEntry>,
+    responses: Vec<Response>,
+    reg: MetricsRegistry,
+    draining: bool,
+    next_request_id: RequestId,
+    next_batch_id: u64,
+    inflight: usize,
+    batch_log: Vec<BatchLogEntry>,
+    /// Last (model, tier) queue a batch was formed from; the next scan
+    /// resumes after it so no model starves behind a lexicographically
+    /// earlier one (deterministic round-robin).
+    rr_cursor: Option<(String, Tier)>,
+}
+
+impl ServeEngine {
+    /// A fresh engine over a calibrated (or synthetic) latency table.
+    pub fn new(cfg: ServeConfig, table: LatencyTable) -> Self {
+        let shed = cfg.shed.map(ShedController::new);
+        Self {
+            cfg,
+            table,
+            queues: BTreeMap::new(),
+            queued_total: 0,
+            queued_work_us: 0.0,
+            shed,
+            breakers: BTreeMap::new(),
+            retries: VecDeque::new(),
+            responses: Vec::new(),
+            reg: MetricsRegistry::new(),
+            draining: false,
+            next_request_id: 0,
+            next_batch_id: 0,
+            inflight: 0,
+            batch_log: Vec::new(),
+            rr_cursor: None,
+        }
+    }
+
+    /// Allocates the next request id (clients building [`Request`]s).
+    pub fn allocate_id(&mut self) -> RequestId {
+        let id = self.next_request_id;
+        self.next_request_id += 1;
+        id
+    }
+
+    /// Amortized per-request work estimate: marginal cost plus the fixed
+    /// batch cost spread over a full batch. Uncalibrated models get a
+    /// conservative constant so they are still servable.
+    fn work_estimate(&self, model: &str, tier: Tier) -> f64 {
+        match self.table.entry(model, tier.precision()) {
+            Some(e) => e.per_item_us + e.base_us / self.cfg.batch_max.max(1) as f64,
+            None => 1_000.0,
+        }
+    }
+
+    /// Submits a request. Returns `true` when enqueued; `false` means a
+    /// terminal rejection was already recorded.
+    pub fn submit(&mut self, req: Request, now_us: u64) -> bool {
+        self.reg.incr(names::SUBMITTED);
+        if self.draining {
+            self.finish(req, Outcome::Rejected(RejectReason::Shutdown));
+            return false;
+        }
+        if self.cfg.breaker.is_some() {
+            if let Some(b) = self.breakers.get_mut(&req.model) {
+                if b.rejects_submissions(now_us) {
+                    self.finish(req, Outcome::Rejected(RejectReason::BreakerOpen));
+                    return false;
+                }
+            }
+        }
+        if self.queued_total >= self.cfg.queue_cap {
+            self.finish(req, Outcome::Rejected(RejectReason::QueueFull));
+            return false;
+        }
+        let est = self.work_estimate(&req.model, req.tier);
+        if self.cfg.admission {
+            let own = self
+                .table
+                .estimate_us(&req.model, req.tier.precision(), 1)
+                .unwrap_or(1_000.0);
+            let backlog = self.queued_work_us / self.cfg.workers.max(1) as f64;
+            let eta = now_us as f64
+                + self.cfg.admission_slack * (backlog + self.cfg.batch_window_us as f64 + own);
+            if eta > req.deadline_us as f64 {
+                self.finish(req, Outcome::Rejected(RejectReason::DeadlineInfeasible));
+                return false;
+            }
+        }
+        self.queued_total += 1;
+        self.queued_work_us += est;
+        self.queues
+            .entry((req.model.clone(), req.tier))
+            .or_default()
+            .push_back(Queued { req, est_us: est, enqueued_us: now_us });
+        true
+    }
+
+    /// Periodic housekeeping: one shed-controller observation and (with
+    /// deadline propagation) a sweep dropping expired queued requests.
+    /// Call once per scheduling round.
+    pub fn tick(&mut self, now_us: u64) {
+        let occupancy = self.queued_total as f64 / self.cfg.queue_cap.max(1) as f64;
+        if let Some(s) = &mut self.shed {
+            let level = s.observe(occupancy);
+            self.reg.set_gauge("serve.shed_level", f64::from(level));
+        }
+        if self.cfg.deadline_propagation {
+            let mut expired = Vec::new();
+            for q in self.queues.values_mut() {
+                let mut i = 0;
+                while i < q.len() {
+                    let past = q.get(i).map(|e| e.req.deadline_us < now_us).unwrap_or(false);
+                    if past {
+                        if let Some(item) = q.remove(i) {
+                            expired.push(item);
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            for item in expired {
+                self.remove_queued_accounting(&item);
+                self.finish(item.req, Outcome::TimedOut(TimeoutStage::Queue));
+            }
+        }
+    }
+
+    fn remove_queued_accounting(&mut self, item: &Queued) {
+        self.queued_total = self.queued_total.saturating_sub(1);
+        self.queued_work_us = (self.queued_work_us - item.est_us).max(0.0);
+    }
+
+    /// The tier a request executes at under the current shed level.
+    fn effective_tier(req: &Request, shed_level: u8) -> Tier {
+        match req.qos {
+            QosClass::Critical => req.tier,
+            QosClass::Standard => req.tier.downgraded_by(shed_level.min(2)),
+        }
+    }
+
+    /// Pulls the next executable batch, if any is ready: eligible retries
+    /// first, then fresh batches round-robin across the (model, tier)
+    /// queues — the scan resumes after the last-served queue so a model
+    /// early in key order cannot starve the others. The caller executes
+    /// the batch and must hand it back via [`Self::complete_batch`].
+    pub fn next_batch(&mut self, now_us: u64) -> Option<Batch> {
+        if let Some(batch) = self.next_retry(now_us) {
+            self.inflight += 1;
+            return Some(batch);
+        }
+        let shed_level = self.shed.as_ref().map(ShedController::level).unwrap_or(0);
+        let keys: Vec<(String, Tier)> = self.queues.keys().cloned().collect();
+        let start = self
+            .rr_cursor
+            .as_ref()
+            .and_then(|c| keys.iter().position(|k| k > c))
+            .unwrap_or(0);
+        let keys: Vec<(String, Tier)> =
+            keys[start..].iter().chain(keys[..start].iter()).cloned().collect();
+        for key in keys {
+            let ready = match self.queues.get(&key) {
+                Some(q) if !q.is_empty() => {
+                    let oldest = q.front().map(|e| e.enqueued_us).unwrap_or(now_us);
+                    q.len() >= self.cfg.batch_max
+                        || now_us.saturating_sub(oldest) >= self.cfg.batch_window_us
+                        || self.draining
+                }
+                _ => false,
+            };
+            if !ready {
+                continue;
+            }
+            let probe = match self.admit_dispatch(&key.0, now_us) {
+                Admit::Reject => continue,
+                Admit::Probe => true,
+                Admit::Allow => false,
+            };
+            if probe {
+                self.reg.incr(names::BREAKER_PROBES);
+            }
+            if let Some(batch) = self.form_batch(&key, shed_level, probe, now_us) {
+                self.inflight += 1;
+                self.rr_cursor = Some(key);
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    fn admit_dispatch(&mut self, model: &str, now_us: u64) -> Admit {
+        match &self.cfg.breaker {
+            None => Admit::Allow,
+            Some(cfg) => self
+                .breakers
+                .entry(model.to_string())
+                .or_insert_with(|| CircuitBreaker::new(*cfg))
+                .admit(now_us),
+        }
+    }
+
+    fn next_retry(&mut self, now_us: u64) -> Option<Batch> {
+        // The deque is kept sorted by eligibility, so the front decides.
+        while self.retries.front().map(|r| r.eligible_us <= now_us).unwrap_or(false) {
+            let entry = self.retries.pop_front()?;
+            let mut batch = entry.batch;
+            if self.cfg.deadline_propagation {
+                let (live, dead): (Vec<Request>, Vec<Request>) =
+                    batch.requests.into_iter().partition(|r| r.deadline_us >= now_us);
+                batch.requests = live;
+                for req in dead {
+                    self.finish(req, Outcome::TimedOut(TimeoutStage::Retry));
+                }
+            }
+            if !batch.requests.is_empty() {
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    fn form_batch(
+        &mut self,
+        key: &(String, Tier),
+        shed_level: u8,
+        probe: bool,
+        now_us: u64,
+    ) -> Option<Batch> {
+        let limit = if probe { 1 } else { self.cfg.batch_max };
+        let mut member_items: Vec<Queued> = Vec::new();
+        let mut dropped: Vec<(Queued, Outcome)> = Vec::new();
+        let mut batch_tier: Option<Tier> = None;
+        {
+            let q = self.queues.get_mut(key)?;
+            while member_items.len() < limit {
+                let Some(front) = q.front() else { break };
+                let expired =
+                    self.cfg.deadline_propagation && front.req.deadline_us < now_us;
+                let shed_now = shed_level >= 3
+                    && front.req.qos == QosClass::Standard
+                    && !expired;
+                let eff = Self::effective_tier(&front.req, shed_level);
+                if !expired && !shed_now {
+                    if let Some(bt) = batch_tier {
+                        if eff != bt {
+                            break; // tier boundary: next batch picks it up
+                        }
+                    }
+                }
+                let Some(item) = q.pop_front() else { break };
+                if expired {
+                    dropped.push((item, Outcome::TimedOut(TimeoutStage::Queue)));
+                } else if shed_now {
+                    dropped.push((item, Outcome::Shed));
+                } else {
+                    batch_tier = Some(eff);
+                    member_items.push(item);
+                }
+            }
+        }
+        for (item, outcome) in dropped {
+            self.remove_queued_accounting(&item);
+            self.finish(item.req, outcome);
+        }
+        let tier = batch_tier?;
+        if member_items.is_empty() {
+            return None;
+        }
+        let mut members: Vec<Request> = Vec::with_capacity(member_items.len());
+        for item in member_items {
+            self.remove_queued_accounting(&item);
+            members.push(item.req);
+        }
+        let id = self.next_batch_id;
+        self.next_batch_id += 1;
+        self.reg.incr(names::BATCHES);
+        if self.cfg.record_batches {
+            self.batch_log.push(BatchLogEntry {
+                batch_id: id,
+                model: key.0.clone(),
+                tier,
+                request_ids: members.iter().map(|r| r.id).collect(),
+                formed_us: now_us,
+            });
+        }
+        Some(Batch { id, model: key.0.clone(), tier, requests: members, attempts: 0, probe })
+    }
+
+    /// Hands back an executed batch with its result. Successful members
+    /// complete (late ones convert to `TimedOut(Exec)` — never
+    /// delivered); failures retry with exponential backoff until
+    /// `retry_max`, then reject as `ExecFailed`.
+    pub fn complete_batch(
+        &mut self,
+        mut batch: Batch,
+        result: Result<(), SessionError>,
+        now_us: u64,
+    ) {
+        self.inflight = self.inflight.saturating_sub(1);
+        match result {
+            Ok(()) => {
+                if self.cfg.breaker.is_some() {
+                    if let Some(b) = self.breakers.get_mut(&batch.model) {
+                        if b.on_success() {
+                            self.reg.incr(names::BREAKER_CLOSES);
+                        }
+                    }
+                }
+                for req in batch.requests {
+                    if now_us > req.deadline_us {
+                        self.finish(req, Outcome::TimedOut(TimeoutStage::Exec));
+                    } else {
+                        let downgraded = batch.tier > req.tier;
+                        let latency_us = now_us.saturating_sub(req.submit_us);
+                        self.finish(
+                            req,
+                            Outcome::Completed { tier: batch.tier, latency_us, downgraded },
+                        );
+                    }
+                }
+            }
+            Err(_) => {
+                if self.cfg.breaker.is_some() {
+                    if let Some(b) = self.breakers.get_mut(&batch.model) {
+                        if b.on_failure(now_us) {
+                            self.reg.incr(names::BREAKER_OPENS);
+                        }
+                    }
+                }
+                batch.attempts += 1;
+                if batch.attempts <= self.cfg.retry_max {
+                    self.reg.incr(names::RETRIES);
+                    let shift = (batch.attempts - 1).min(16);
+                    let backoff = self.cfg.retry_backoff_us.saturating_mul(1 << shift);
+                    let eligible_us = now_us.saturating_add(backoff);
+                    let pos = self
+                        .retries
+                        .iter()
+                        .position(|r| r.eligible_us > eligible_us)
+                        .unwrap_or(self.retries.len());
+                    self.retries.insert(pos, RetryEntry { batch, eligible_us });
+                } else {
+                    for req in batch.requests {
+                        self.finish(req, Outcome::Rejected(RejectReason::ExecFailed));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Begins shutdown: new submissions reject, partial batch windows
+    /// flush immediately.
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether shutdown drain has begun.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the engine holds no work (queues, retries, in-flight).
+    pub fn idle(&self) -> bool {
+        self.queued_total == 0 && self.retries.is_empty() && self.inflight == 0
+    }
+
+    /// Time-outs everything still queued or awaiting retry — the drain
+    /// window closed. In-flight batches must be completed by the caller
+    /// first.
+    pub fn abort_remaining(&mut self) {
+        let mut leftovers: Vec<Queued> = Vec::new();
+        for (_, mut q) in std::mem::take(&mut self.queues) {
+            leftovers.extend(q.drain(..));
+        }
+        for item in leftovers {
+            self.remove_queued_accounting(&item);
+            self.finish(item.req, Outcome::TimedOut(TimeoutStage::Drain));
+        }
+        for entry in std::mem::take(&mut self.retries) {
+            for req in entry.batch.requests {
+                self.finish(req, Outcome::TimedOut(TimeoutStage::Drain));
+            }
+        }
+    }
+
+    /// The single terminal-outcome accounting path. Every request passes
+    /// through here exactly once; the conservation law is a corollary.
+    fn finish(&mut self, req: Request, outcome: Outcome) {
+        match &outcome {
+            Outcome::Completed { latency_us, downgraded, .. } => {
+                self.reg.incr(names::COMPLETED);
+                if *downgraded {
+                    self.reg.incr(names::DOWNGRADED);
+                }
+                self.reg.observe("serve.latency_us", *latency_us);
+                // Self-check: complete_batch converts late completions
+                // before calling finish, so this can never fire.
+                if req.submit_us.saturating_add(*latency_us) > req.deadline_us {
+                    self.reg.incr(names::DEADLINE_VIOLATIONS);
+                }
+            }
+            Outcome::Rejected(reason) => {
+                self.reg.incr(names::REJECTED);
+                self.reg.incr(match reason {
+                    RejectReason::QueueFull => names::REJECTED_QUEUE_FULL,
+                    RejectReason::DeadlineInfeasible => names::REJECTED_INFEASIBLE,
+                    RejectReason::BreakerOpen => names::REJECTED_BREAKER,
+                    RejectReason::ExecFailed => names::REJECTED_EXEC_FAILED,
+                    RejectReason::Shutdown => names::REJECTED_SHUTDOWN,
+                });
+            }
+            Outcome::Shed => self.reg.incr(names::SHED),
+            Outcome::TimedOut(stage) => {
+                self.reg.incr(names::TIMED_OUT);
+                self.reg.incr(match stage {
+                    TimeoutStage::Queue => names::TIMED_OUT_QUEUE,
+                    TimeoutStage::Exec => names::TIMED_OUT_EXEC,
+                    TimeoutStage::Retry => names::TIMED_OUT_RETRY,
+                    TimeoutStage::Drain => names::TIMED_OUT_DRAIN,
+                });
+            }
+        }
+        self.responses.push(Response { id: req.id, model: req.model, outcome });
+    }
+
+    /// Snapshot of the canonical serving counters.
+    pub fn counters(&self) -> ServeCounters {
+        ServeCounters::from_registry(&self.reg)
+    }
+
+    /// The full metrics registry (for bench-record merges).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.reg
+    }
+
+    /// Terminal responses recorded so far (drains the buffer).
+    pub fn take_responses(&mut self) -> Vec<Response> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Responses recorded so far, without draining.
+    pub fn responses(&self) -> &[Response] {
+        &self.responses
+    }
+
+    /// Current shed escalation level.
+    pub fn shed_level(&self) -> u8 {
+        self.shed.as_ref().map(ShedController::level).unwrap_or(0)
+    }
+
+    /// Requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queued_total
+    }
+
+    /// Batches currently dispatched and not yet completed.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The latency table driving admission estimates.
+    pub fn table(&self) -> &LatencyTable {
+        &self.table
+    }
+
+    /// Recorded batch compositions (empty unless
+    /// [`ServeConfig::record_batches`]).
+    pub fn batch_log(&self) -> &[BatchLogEntry] {
+        &self.batch_log
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use rapid_arch::precision::Precision;
+    use rapid_model::LatencyEntry;
+
+    /// Synthetic table: one model, 100us base + 50us/item at FP16, with
+    /// each lower tier 2x faster.
+    fn table() -> LatencyTable {
+        let mut entries = Vec::new();
+        for (i, p) in [Precision::Fp16, Precision::Hfp8, Precision::Int4].iter().enumerate() {
+            let scale = 1.0 / (1 << i) as f64;
+            entries.push((
+                ("m".to_string(), *p),
+                LatencyEntry { base_us: 100.0 * scale, per_item_us: 50.0 * scale },
+            ));
+        }
+        LatencyTable::from_entries(entries)
+    }
+
+    fn req(engine: &mut ServeEngine, now: u64, deadline: u64) -> Request {
+        let id = engine.allocate_id();
+        Request {
+            id,
+            model: "m".to_string(),
+            tier: Tier::Fp16,
+            qos: QosClass::Standard,
+            submit_us: now,
+            deadline_us: deadline,
+        }
+    }
+
+    #[test]
+    fn completes_within_deadline_and_conserves() {
+        let mut e = ServeEngine::new(ServeConfig::default(), table());
+        let r = req(&mut e, 0, 10_000);
+        assert!(e.submit(r, 0));
+        // window not yet expired, nothing ready
+        assert!(e.next_batch(100).is_none());
+        let batch = e.next_batch(2_100).expect("window expired");
+        assert_eq!(batch.requests.len(), 1);
+        e.complete_batch(batch, Ok(()), 2_400);
+        let c = e.counters();
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.lost(), 0);
+        assert_eq!(c.deadline_violations, 0);
+        assert!(matches!(
+            e.responses()[0].outcome,
+            Outcome::Completed { latency_us: 2_400, downgraded: false, .. }
+        ));
+    }
+
+    #[test]
+    fn late_completion_converts_to_exec_timeout() {
+        let mut e = ServeEngine::new(ServeConfig::naive(), table());
+        let r = req(&mut e, 0, 1_000);
+        assert!(e.submit(r, 0));
+        let batch = e.next_batch(2_100).expect("ready");
+        e.complete_batch(batch, Ok(()), 5_000); // way past deadline
+        let c = e.counters();
+        assert_eq!(c.completed, 0);
+        assert_eq!(c.timed_out, 1);
+        assert_eq!(c.deadline_violations, 0);
+        assert_eq!(c.lost(), 0);
+    }
+
+    #[test]
+    fn admission_rejects_infeasible_deadlines() {
+        let mut e = ServeEngine::new(ServeConfig::default(), table());
+        let r = req(&mut e, 0, 50); // deadline < batch1 service time (150us)
+        assert!(!e.submit(r, 0));
+        let c = e.counters();
+        assert_eq!(c.rejected, 1);
+        assert_eq!(e.registry().counter(names::REJECTED_INFEASIBLE), 1);
+    }
+
+    #[test]
+    fn queue_full_backpressure_rejects() {
+        let cfg = ServeConfig { queue_cap: 2, admission: false, ..ServeConfig::default() };
+        let mut e = ServeEngine::new(cfg, table());
+        for _ in 0..2 {
+            let r = req(&mut e, 0, 1_000_000);
+            assert!(e.submit(r, 0));
+        }
+        let r = req(&mut e, 0, 1_000_000);
+        assert!(!e.submit(r, 0));
+        assert_eq!(e.registry().counter(names::REJECTED_QUEUE_FULL), 1);
+    }
+
+    #[test]
+    fn deadline_propagation_drops_expired_in_queue() {
+        let mut e = ServeEngine::new(ServeConfig::default(), table());
+        let r = req(&mut e, 0, 3_000); // feasible at submit time
+        assert!(e.submit(r, 0));
+        e.tick(4_000); // past the deadline
+        let c = e.counters();
+        assert_eq!(c.timed_out, 1);
+        assert_eq!(e.registry().counter(names::TIMED_OUT_QUEUE), 1);
+        assert_eq!(e.queued(), 0);
+        assert!(e.next_batch(10_000).is_none());
+    }
+
+    #[test]
+    fn failed_batches_retry_then_reject() {
+        let cfg = ServeConfig {
+            retry_max: 1,
+            retry_backoff_us: 100,
+            breaker: None,
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        let r = req(&mut e, 0, 1_000_000);
+        assert!(e.submit(r, 0));
+        let b = e.next_batch(2_100).expect("ready");
+        e.complete_batch(b, Err(SessionError::Transient), 2_200);
+        assert!(e.next_batch(2_250).is_none()); // backoff not elapsed
+        let b = e.next_batch(2_300).expect("retry eligible");
+        assert_eq!(b.attempts, 1);
+        e.complete_batch(b, Err(SessionError::Transient), 2_400);
+        let c = e.counters();
+        assert_eq!(c.retries, 1);
+        assert_eq!(e.registry().counter(names::REJECTED_EXEC_FAILED), 1);
+        assert_eq!(c.lost(), 0);
+    }
+
+    #[test]
+    fn breaker_opens_then_probes_then_closes() {
+        let cfg = ServeConfig {
+            retry_max: 0,
+            breaker: Some(BreakerConfig { open_after: 2, cooldown_us: 1_000 }),
+            batch_window_us: 0,
+            admission: false,
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        for t in 0..2u64 {
+            let r = req(&mut e, t * 10, 1_000_000);
+            assert!(e.submit(r, t * 10));
+            let b = e.next_batch(t * 10 + 1).expect("ready");
+            e.complete_batch(b, Err(SessionError::Transient), t * 10 + 2);
+        }
+        assert_eq!(e.counters().breaker_opens, 1);
+        // While open: submissions reject.
+        let r = req(&mut e, 100, 1_000_000);
+        assert!(!e.submit(r, 100));
+        assert_eq!(e.registry().counter(names::REJECTED_BREAKER), 1);
+        // After cooldown: probe admitted, success closes.
+        let r = req(&mut e, 2_000, 1_000_000);
+        assert!(e.submit(r, 2_000));
+        let b = e.next_batch(2_001).expect("probe");
+        assert!(b.probe);
+        e.complete_batch(b, Ok(()), 2_010);
+        assert_eq!(e.registry().counter(names::BREAKER_CLOSES), 1);
+        assert_eq!(e.counters().lost(), 0);
+    }
+
+    #[test]
+    fn shed_levels_downgrade_then_drop_standard_only() {
+        let cfg = ServeConfig {
+            queue_cap: 10,
+            admission: false,
+            batch_window_us: 0,
+            shed: Some(ShedConfig { hi: 0.1, lo: 0.05, up_ticks: 1, down_ticks: 100, max_level: 3 }),
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        // Fill the queue, tick until level 3.
+        for i in 0..8u64 {
+            let id = e.allocate_id();
+            let qos = if i == 0 { QosClass::Critical } else { QosClass::Standard };
+            let r = Request {
+                id,
+                model: "m".to_string(),
+                tier: Tier::Fp16,
+                qos,
+                submit_us: 0,
+                deadline_us: 1_000_000,
+            };
+            assert!(e.submit(r, 0));
+        }
+        for _ in 0..3 {
+            e.tick(1);
+        }
+        assert_eq!(e.shed_level(), 3);
+        // Critical request survives at its tier; standards are shed.
+        let b = e.next_batch(2).expect("critical batch");
+        assert_eq!(b.tier, Tier::Fp16);
+        assert_eq!(b.requests.len(), 1);
+        e.complete_batch(b, Ok(()), 3);
+        assert!(e.next_batch(4).is_none());
+        let c = e.counters();
+        assert_eq!(c.shed, 7);
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.lost(), 0);
+    }
+
+    #[test]
+    fn shed_level_below_three_downgrades_tier() {
+        let cfg = ServeConfig {
+            queue_cap: 10,
+            admission: false,
+            batch_window_us: 0,
+            shed: Some(ShedConfig { hi: 0.1, lo: 0.05, up_ticks: 1, down_ticks: 100, max_level: 1 }),
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        for _ in 0..4 {
+            let r = req(&mut e, 0, 1_000_000);
+            assert!(e.submit(r, 0));
+        }
+        e.tick(1);
+        assert_eq!(e.shed_level(), 1);
+        let b = e.next_batch(2).expect("batch");
+        assert_eq!(b.tier, Tier::Hfp8); // downgraded one step
+        e.complete_batch(b, Ok(()), 3);
+        let c = e.counters();
+        assert_eq!(c.completed, 4);
+        assert_eq!(c.downgraded, 4);
+    }
+
+    #[test]
+    fn drain_rejects_new_flushes_old_and_aborts_leftovers() {
+        let cfg = ServeConfig { admission: false, ..ServeConfig::default() };
+        let mut e = ServeEngine::new(cfg, table());
+        let r = req(&mut e, 0, 1_000_000);
+        assert!(e.submit(r, 0));
+        e.drain();
+        let r = req(&mut e, 1, 1_000_000);
+        assert!(!e.submit(r, 1));
+        assert_eq!(e.registry().counter(names::REJECTED_SHUTDOWN), 1);
+        // Draining flushes the partial window immediately.
+        let b = e.next_batch(2).expect("flush");
+        e.complete_batch(b, Ok(()), 3);
+        // A leftover that never got dispatched is aborted.
+        assert!(e.idle());
+        let c = e.counters();
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.lost(), 0);
+    }
+
+    #[test]
+    fn abort_remaining_accounts_queued_and_retrying() {
+        let cfg = ServeConfig {
+            admission: false,
+            breaker: None,
+            retry_max: 5,
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        for _ in 0..3 {
+            let r = req(&mut e, 0, 1_000_000);
+            assert!(e.submit(r, 0));
+        }
+        let b = e.next_batch(2_100).expect("batch");
+        e.complete_batch(b, Err(SessionError::Transient), 2_200); // → retry queue
+        e.abort_remaining();
+        let c = e.counters();
+        assert_eq!(c.lost(), 0);
+        assert_eq!(e.registry().counter(names::TIMED_OUT_DRAIN), 3);
+        assert!(e.idle());
+    }
+
+    #[test]
+    fn batch_log_records_composition_when_enabled() {
+        let cfg = ServeConfig {
+            record_batches: true,
+            admission: false,
+            batch_window_us: 0,
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        for _ in 0..2 {
+            let r = req(&mut e, 0, 1_000_000);
+            assert!(e.submit(r, 0));
+        }
+        let b = e.next_batch(1).expect("batch");
+        e.complete_batch(b, Ok(()), 2);
+        assert_eq!(e.batch_log().len(), 1);
+        assert_eq!(e.batch_log()[0].request_ids, vec![0, 1]);
+    }
+}

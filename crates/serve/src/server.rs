@@ -1,0 +1,267 @@
+//! The real threaded serving runtime: crossbeam scoped workers around
+//! the same [`ServeEngine`] the virtual-time sweeps exercise.
+//!
+//! No async runtime — workers are plain threads sharing the engine
+//! under a `std::sync::Mutex` + `Condvar`, with inference executed
+//! *outside* the lock so GEMMs overlap. Because all scheduling policy
+//! lives in the engine, the chaos guarantees proven in virtual time
+//! (conservation, no late deliveries) carry over verbatim; the threads
+//! only decide *when* the engine's methods run, never *what* they do.
+//!
+//! Shutdown is a clean drain: new submissions reject with
+//! `RejectReason::Shutdown`, partial batch windows flush, and anything
+//! still stuck after [`ServeConfig::drain_timeout_us`] is aborted as
+//! `TimedOut(Drain)` — never silently lost.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use rapid_model::LatencyTable;
+use rapid_telemetry::{MetricsRegistry, ServeCounters};
+
+use crate::engine::{ServeConfig, ServeEngine};
+use crate::request::{QosClass, Request, RequestId, Response, Tier};
+use crate::session::InferenceSession;
+
+/// Engine plus the one flag the threads coordinate on.
+struct State {
+    engine: ServeEngine,
+    hard_stop: bool,
+}
+
+fn lock<'a>(m: &'a Mutex<State>) -> MutexGuard<'a, State> {
+    // Engine mutations are transactional (finish() either runs fully or
+    // not at all), so a poisoned lock is safe to recover.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Client-side handle valid for the duration of [`Server::run`]'s
+/// callback: submit requests, read the clock, snapshot counters.
+pub struct ServerHandle<'a> {
+    state: &'a Mutex<State>,
+    cv: &'a Condvar,
+    epoch: Instant,
+}
+
+impl ServerHandle<'_> {
+    /// Microseconds since the server started.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Submits a request with a relative deadline budget. The terminal
+    /// outcome shows up in [`ServerReport::responses`] under the
+    /// returned id.
+    pub fn submit(
+        &self,
+        model: &str,
+        tier: Tier,
+        qos: QosClass,
+        deadline_budget_us: u64,
+    ) -> RequestId {
+        let mut st = lock(self.state);
+        let now = self.now_us();
+        let id = st.engine.allocate_id();
+        let req = Request {
+            id,
+            model: model.to_string(),
+            tier,
+            qos,
+            submit_us: now,
+            deadline_us: now.saturating_add(deadline_budget_us),
+        };
+        st.engine.submit(req, now);
+        drop(st);
+        self.cv.notify_all();
+        id
+    }
+
+    /// Live snapshot of the serving counters.
+    pub fn counters(&self) -> ServeCounters {
+        lock(self.state).engine.counters()
+    }
+
+    /// Requests currently queued.
+    pub fn queued(&self) -> usize {
+        lock(self.state).engine.queued()
+    }
+}
+
+/// What a completed [`Server::run`] hands back.
+#[derive(Debug)]
+pub struct ServerReport<R> {
+    /// The callback's return value.
+    pub result: R,
+    /// Final counters after full drain (conservation holds here).
+    pub counters: ServeCounters,
+    /// Every terminal response.
+    pub responses: Vec<Response>,
+    /// The engine's full metrics registry.
+    pub registry: MetricsRegistry,
+}
+
+/// The threaded serving runtime. Stateless — [`Server::run`] owns the
+/// engine for exactly one serve-and-drain lifecycle.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Server;
+
+impl Server {
+    /// Runs a server over `session` with `cfg.workers` worker threads,
+    /// calls `f` with a submission handle, then drains and joins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked (engine invariants would be
+    /// unverifiable).
+    #[allow(clippy::expect_used)] // worker panics are unrecoverable here
+    pub fn run<S, F, R>(cfg: ServeConfig, table: LatencyTable, session: &S, f: F) -> ServerReport<R>
+    where
+        S: InferenceSession,
+        F: FnOnce(&ServerHandle<'_>) -> R,
+    {
+        let workers = cfg.workers.max(1);
+        let wait = Duration::from_micros((cfg.batch_window_us / 2).max(200));
+        let drain_timeout = Duration::from_micros(cfg.drain_timeout_us.max(1_000));
+        let epoch = Instant::now();
+        let state = Mutex::new(State {
+            engine: ServeEngine::new(cfg, table),
+            hard_stop: false,
+        });
+        let cv = Condvar::new();
+
+        let result = crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let state = &state;
+                let cv = &cv;
+                scope.spawn(move |_| worker_loop(state, cv, epoch, wait, session));
+            }
+
+            let handle = ServerHandle { state: &state, cv: &cv, epoch };
+            let out = f(&handle);
+
+            // Drain: reject new work, flush partial windows, wait.
+            lock(&state).engine.drain();
+            cv.notify_all();
+            let deadline = Instant::now() + drain_timeout;
+            let mut hard_stopped = false;
+            loop {
+                {
+                    let mut st = lock(&state);
+                    if !hard_stopped && st.engine.idle() {
+                        break;
+                    }
+                    if hard_stopped && st.engine.inflight() == 0 {
+                        break;
+                    }
+                    if !hard_stopped && Instant::now() >= deadline {
+                        // Drain window closed: abort queued/retrying work
+                        // (workers still complete their in-flight batch).
+                        st.engine.abort_remaining();
+                        st.hard_stop = true;
+                        hard_stopped = true;
+                    }
+                }
+                cv.notify_all();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            lock(&state).hard_stop = true;
+            cv.notify_all();
+            out
+        })
+        .expect("serving worker thread panicked");
+
+        let mut st = lock(&state);
+        let counters = st.engine.counters();
+        let mut registry = MetricsRegistry::new();
+        registry.merge(st.engine.registry());
+        let responses = st.engine.take_responses();
+        ServerReport { result, counters, responses, registry }
+    }
+}
+
+fn worker_loop(
+    state: &Mutex<State>,
+    cv: &Condvar,
+    epoch: Instant,
+    wait: Duration,
+    session: &dyn InferenceSession,
+) {
+    loop {
+        let mut st = lock(state);
+        if st.hard_stop {
+            break;
+        }
+        let now = epoch.elapsed().as_micros() as u64;
+        st.engine.tick(now);
+        match st.engine.next_batch(now) {
+            Some(batch) => {
+                drop(st); // execute outside the lock so workers overlap
+                let result =
+                    session.infer(&batch.model, batch.tier, batch.requests.len()).map(|_| ());
+                let done = epoch.elapsed().as_micros() as u64;
+                lock(state).engine.complete_batch(batch, result, done);
+                cv.notify_all();
+            }
+            None => {
+                if st.engine.draining() && st.engine.idle() {
+                    drop(st);
+                    cv.notify_all();
+                    break;
+                }
+                let (g, _timeout) =
+                    cv.wait_timeout(st, wait).unwrap_or_else(std::sync::PoisonError::into_inner);
+                drop(g);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeConfig;
+    use crate::session::{EmulatedSession, OkSession};
+    use crate::sweep::synthetic_table;
+
+    #[test]
+    fn threaded_server_serves_and_conserves() {
+        let table = synthetic_table(&["m"], 100.0, 50.0);
+        let cfg = ServeConfig {
+            workers: 2,
+            batch_window_us: 500,
+            drain_timeout_us: 2_000_000,
+            ..ServeConfig::hardened()
+        };
+        let report = Server::run(cfg, table, &OkSession, |h| {
+            for _ in 0..50 {
+                h.submit("m", Tier::Fp16, QosClass::Standard, 1_000_000);
+            }
+        });
+        assert_eq!(report.counters.submitted, 50);
+        assert_eq!(report.counters.lost(), 0);
+        assert_eq!(report.counters.deadline_violations, 0);
+        assert!(report.counters.completed > 0, "some requests completed");
+        assert_eq!(report.responses.len(), 50);
+    }
+
+    #[test]
+    fn threaded_server_over_emulated_kernels() {
+        let table = synthetic_table(&["resnet50", "bert"], 150.0, 60.0);
+        let cfg = ServeConfig {
+            workers: 2,
+            batch_window_us: 500,
+            drain_timeout_us: 5_000_000,
+            ..ServeConfig::hardened()
+        };
+        let session = EmulatedSession::clean();
+        let report = Server::run(cfg, table, &session, |h| {
+            for i in 0..20 {
+                let model = if i % 2 == 0 { "resnet50" } else { "bert" };
+                h.submit(model, Tier::Hfp8, QosClass::Standard, 2_000_000);
+            }
+        });
+        assert_eq!(report.counters.lost(), 0);
+        assert_eq!(report.counters.completed, 20, "clean session completes everything");
+    }
+}

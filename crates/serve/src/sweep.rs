@@ -1,0 +1,313 @@
+//! Virtual-time open-loop load generation: the chaos harness.
+//!
+//! Drives a [`ServeEngine`] with seeded Poisson arrivals over an
+//! explicit microsecond clock — no threads, no wall time — so a sweep
+//! with the same seed, load and fault plan reproduces bit-identically.
+//! Workers are modeled as busy-until timestamps; service times come
+//! from the same [`LatencyTable`] the admission controller uses, so the
+//! overload point is analytically known
+//! ([`LatencyTable::capacity_qps`]).
+//!
+//! This is *open-loop* load: arrivals do not slow down when the system
+//! struggles, which is exactly the regime where unhardened serving
+//! stacks collapse (queues grow, every request finishes late, goodput
+//! goes to zero). EXPERIMENTS.md E21 plots the resulting curves.
+
+use rapid_arch::precision::Precision;
+use rapid_fault::XorShift64;
+use rapid_model::{LatencyEntry, LatencyTable};
+use rapid_telemetry::{MetricsRegistry, ServeCounters};
+
+use crate::engine::{BatchLogEntry, ServeConfig, ServeEngine};
+use crate::request::{Batch, Outcome, QosClass, Request, Response, Tier};
+use crate::session::{InferenceSession, SessionError};
+
+/// Builds a synthetic latency table for sweeps and tests: every model
+/// gets the same FP16 law, with HFP8 at 0.55× and INT4 at 0.30× the
+/// cost (the paper's emulated-tier speedup ordering).
+pub fn synthetic_table(models: &[&str], base_us: f64, per_item_us: f64) -> LatencyTable {
+    let tiers =
+        [(Precision::Fp16, 1.0), (Precision::Hfp8, 0.55), (Precision::Int4, 0.30)];
+    LatencyTable::from_entries(models.iter().flat_map(|m| {
+        tiers.iter().map(move |&(p, s)| {
+            (
+                (m.to_string(), p),
+                LatencyEntry { base_us: base_us * s, per_item_us: per_item_us * s },
+            )
+        })
+    }))
+}
+
+/// One open-loop offered-load cell.
+#[derive(Debug, Clone)]
+pub struct OfferedLoad {
+    /// Offered arrival rate, requests per second (Poisson process).
+    pub qps: f64,
+    /// How long arrivals keep coming, microseconds of virtual time.
+    pub duration_us: u64,
+    /// Arrival-process seed (decoupled from the fault-plan seed).
+    pub seed: u64,
+    /// Deadline budget granted to every request, microseconds.
+    pub deadline_budget_us: u64,
+    /// Fraction of requests submitted as [`QosClass::Critical`].
+    pub critical_fraction: f64,
+    /// Models requests are spread across (uniformly at random).
+    pub models: Vec<String>,
+    /// Tier every request asks for (the shedder may lower it).
+    pub tier: Tier,
+}
+
+impl Default for OfferedLoad {
+    fn default() -> Self {
+        Self {
+            qps: 1_000.0,
+            duration_us: 1_000_000,
+            seed: 1,
+            deadline_budget_us: 20_000,
+            critical_fraction: 0.1,
+            models: vec!["m".to_string()],
+            tier: Tier::Fp16,
+        }
+    }
+}
+
+/// What one sweep cell produced.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The offered rate, echoed.
+    pub offered_qps: f64,
+    /// Canonical serving counters after full drain.
+    pub counters: ServeCounters,
+    /// Median completed-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile completed-request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Completed requests per second of offered-load window.
+    pub goodput_qps: f64,
+    /// Full engine registry (for bench-record merges).
+    pub registry: MetricsRegistry,
+    /// Every terminal response, in accounting order.
+    pub responses: Vec<Response>,
+    /// Batch compositions (when [`ServeConfig::record_batches`]).
+    pub batch_log: Vec<BatchLogEntry>,
+}
+
+/// Exponential inter-arrival draw, microseconds, ≥ 1.
+fn inter_arrival_us(rng: &mut XorShift64, qps: f64) -> u64 {
+    let rate_per_us = (qps / 1e6).max(1e-12);
+    let u = rng.next_f64().max(1e-12);
+    ((-u.ln() / rate_per_us).round() as u64).max(1)
+}
+
+/// A dispatched batch in flight on a virtual worker.
+struct InFlight {
+    done_us: u64,
+    batch: Batch,
+    result: Result<(), SessionError>,
+}
+
+/// Runs one open-loop cell to full drain and returns its results.
+///
+/// The session executes at dispatch time (so fault draws happen in
+/// deterministic dispatch order) but the engine observes the result at
+/// the modeled completion time.
+pub fn run_open_loop(
+    cfg: &ServeConfig,
+    table: &LatencyTable,
+    load: &OfferedLoad,
+    session: &dyn InferenceSession,
+) -> SweepResult {
+    let mut engine = ServeEngine::new(cfg.clone(), table.clone());
+    let mut rng = XorShift64::new(load.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    let workers = cfg.workers.max(1);
+    let mut worker_free = vec![0u64; workers];
+    let mut inflight: Vec<InFlight> = Vec::new();
+    let tick_step = (cfg.batch_window_us / 2).max(1);
+    let hard_stop = load.duration_us.saturating_add(cfg.drain_timeout_us);
+
+    let mut now = 0u64;
+    let mut next_arrival = inter_arrival_us(&mut rng, load.qps);
+    let mut next_tick = 0u64;
+    let mut drained = false;
+
+    loop {
+        // 1. Apply completions due now.
+        loop {
+            let due = inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.done_us <= now)
+                .min_by_key(|(i, f)| (f.done_us, f.batch.id, *i))
+                .map(|(i, _)| i);
+            let Some(i) = due else { break };
+            let f = inflight.remove(i);
+            engine.complete_batch(f.batch, f.result, now);
+        }
+
+        // 2. Arrivals due now (possibly several after a clock jump).
+        while next_arrival <= now && next_arrival < load.duration_us {
+            let model_idx = rng.below(load.models.len().max(1) as u32) as usize;
+            let critical = rng.chance(load.critical_fraction);
+            let id = engine.allocate_id();
+            let req = Request {
+                id,
+                model: load.models.get(model_idx).cloned().unwrap_or_default(),
+                tier: load.tier,
+                qos: if critical { QosClass::Critical } else { QosClass::Standard },
+                submit_us: now,
+                deadline_us: now.saturating_add(load.deadline_budget_us),
+            };
+            engine.submit(req, now);
+            next_arrival += inter_arrival_us(&mut rng, load.qps);
+        }
+
+        // 3. Housekeeping tick.
+        if now >= next_tick {
+            engine.tick(now);
+            next_tick = now + tick_step;
+        }
+
+        // 4. Start drain once the offered window closes.
+        if now >= load.duration_us && !drained {
+            engine.drain();
+            drained = true;
+        }
+
+        // 5. Dispatch to free workers.
+        for free_at in worker_free.iter_mut() {
+            if *free_at > now {
+                continue;
+            }
+            let Some(batch) = engine.next_batch(now) else { break };
+            let service = table
+                .estimate_us(&batch.model, batch.tier.precision(), batch.requests.len())
+                .unwrap_or(1_000.0)
+                .max(1.0) as u64;
+            let result = session
+                .infer(&batch.model, batch.tier, batch.requests.len())
+                .map(|_| ());
+            let done_us = now + service;
+            *free_at = done_us;
+            inflight.push(InFlight { done_us, batch, result });
+        }
+
+        // 6. Termination and next event time.
+        if drained && inflight.is_empty() && engine.idle() {
+            break;
+        }
+        if now >= hard_stop {
+            // Drain window closed with work still stuck (e.g. an open
+            // breaker). Complete in-flight batches, then abort the rest.
+            for f in std::mem::take(&mut inflight) {
+                engine.complete_batch(f.batch, f.result, hard_stop);
+            }
+            engine.abort_remaining();
+            break;
+        }
+        let mut next = next_tick;
+        if now < load.duration_us {
+            next = next.min(next_arrival);
+        }
+        if let Some(done) = inflight.iter().map(|f| f.done_us).min() {
+            next = next.min(done);
+        }
+        now = next.max(now + 1).min(hard_stop);
+    }
+
+    let counters = engine.counters();
+    let mut latencies: Vec<u64> = engine
+        .responses()
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            Outcome::Completed { latency_us, .. } => Some(*latency_us),
+            _ => None,
+        })
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+        latencies[idx.min(latencies.len() - 1)] as f64 / 1_000.0
+    };
+    let goodput_qps = counters.completed as f64 / (load.duration_us as f64 / 1e6);
+    let mut registry = MetricsRegistry::new();
+    registry.merge(engine.registry());
+    let batch_log = engine.batch_log().to_vec();
+    SweepResult {
+        offered_qps: load.qps,
+        counters,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        goodput_qps,
+        registry,
+        responses: engine.take_responses(),
+        batch_log,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::session::OkSession;
+
+    fn load(qps: f64) -> OfferedLoad {
+        OfferedLoad {
+            qps,
+            duration_us: 200_000,
+            seed: 42,
+            deadline_budget_us: 25_000,
+            critical_fraction: 0.1,
+            models: vec!["m".to_string()],
+            tier: Tier::Fp16,
+        }
+    }
+
+    #[test]
+    fn underload_completes_nearly_everything() {
+        let table = synthetic_table(&["m"], 100.0, 50.0);
+        let cfg = ServeConfig::hardened();
+        // Capacity ≈ workers/(per_item + base/batch) = 4e6/62.5 = 64k qps;
+        // 2k qps is deep underload.
+        let r = run_open_loop(&cfg, &table, &load(2_000.0), &OkSession);
+        assert_eq!(r.counters.lost(), 0);
+        assert_eq!(r.counters.deadline_violations, 0);
+        assert!(r.counters.submitted > 200, "arrivals happened");
+        let frac = r.counters.completed as f64 / r.counters.submitted as f64;
+        assert!(frac > 0.95, "underload completion fraction {frac}");
+        assert!(r.p99_ms < 25.0, "p99 {} under deadline", r.p99_ms);
+    }
+
+    #[test]
+    fn same_seed_is_bit_reproducible() {
+        let table = synthetic_table(&["a", "b"], 200.0, 80.0);
+        let cfg = ServeConfig { record_batches: true, ..ServeConfig::hardened() };
+        let l = OfferedLoad { models: vec!["a".into(), "b".into()], ..load(8_000.0) };
+        let r1 = run_open_loop(&cfg, &table, &l, &OkSession);
+        let r2 = run_open_loop(&cfg, &table, &l, &OkSession);
+        assert_eq!(r1.counters, r2.counters);
+        assert_eq!(r1.batch_log, r2.batch_log);
+        assert_eq!(r1.responses, r2.responses);
+    }
+
+    #[test]
+    fn hardened_beats_naive_at_heavy_overload() {
+        let table = synthetic_table(&["m"], 200.0, 100.0);
+        // Capacity ≈ 4e6/125 = 32k qps; offer 3× that.
+        let l = load(96_000.0);
+        let hardened = run_open_loop(&ServeConfig::hardened(), &table, &l, &OkSession);
+        let naive = run_open_loop(&ServeConfig::naive(), &table, &l, &OkSession);
+        assert_eq!(hardened.counters.lost(), 0);
+        assert_eq!(naive.counters.lost(), 0);
+        assert_eq!(hardened.counters.deadline_violations, 0);
+        assert_eq!(naive.counters.deadline_violations, 0);
+        assert!(
+            hardened.goodput_qps > naive.goodput_qps,
+            "hardened {} <= naive {}",
+            hardened.goodput_qps,
+            naive.goodput_qps
+        );
+    }
+}

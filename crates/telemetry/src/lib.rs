@@ -30,11 +30,13 @@
 pub mod json;
 pub mod registry;
 pub mod schema;
+pub mod serve;
 pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use registry::{Histogram, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use schema::{validate_aggregate, validate_bench_record, AGGREGATE_SCHEMA, BENCH_SCHEMA};
+pub use serve::ServeCounters;
 pub use trace::{trace_path_from_env, Phase, SpanCoalescer, TraceEvent, TraceSink, TRACE_ENV};
 
 /// The telemetry bundle a producer writes into: always a registry, plus a

@@ -1,0 +1,142 @@
+//! Canonical serving-runtime counters and their snapshot view.
+//!
+//! The serving layer (`rapid-serve`) accounts every request with exactly
+//! one terminal outcome; these are the registry names it counts under, so
+//! benches, gates and dashboards all read the same keys. The conservation
+//! law the chaos tests enforce is a first-class method here:
+//! [`ServeCounters::lost`] must be zero on every well-behaved run.
+
+use crate::registry::MetricsRegistry;
+
+/// Requests submitted to the runtime (every request counts here once).
+pub const SUBMITTED: &str = "serve.submitted";
+/// Requests completed within their deadline (the only success outcome).
+pub const COMPLETED: &str = "serve.completed";
+/// Requests rejected — sum of the `serve.rejected.*` reasons.
+pub const REJECTED: &str = "serve.rejected";
+/// Rejected: bounded queue was full (backpressure).
+pub const REJECTED_QUEUE_FULL: &str = "serve.rejected.queue_full";
+/// Rejected: admission estimate said the deadline was infeasible.
+pub const REJECTED_INFEASIBLE: &str = "serve.rejected.deadline_infeasible";
+/// Rejected: the model's circuit breaker was open.
+pub const REJECTED_BREAKER: &str = "serve.rejected.breaker_open";
+/// Rejected: execution failed after all retries.
+pub const REJECTED_EXEC_FAILED: &str = "serve.rejected.exec_failed";
+/// Rejected: the runtime was draining for shutdown.
+pub const REJECTED_SHUTDOWN: &str = "serve.rejected.shutdown";
+/// Requests shed by the overload controller at its last escalation level.
+pub const SHED: &str = "serve.shed";
+/// Requests that ran out of deadline — sum of `serve.timed_out.*` stages.
+pub const TIMED_OUT: &str = "serve.timed_out";
+/// Timed out while queued (dropped at the batch-formation boundary).
+pub const TIMED_OUT_QUEUE: &str = "serve.timed_out.queue";
+/// Timed out between execution start and completion.
+pub const TIMED_OUT_EXEC: &str = "serve.timed_out.exec";
+/// Timed out waiting for a retry slot.
+pub const TIMED_OUT_RETRY: &str = "serve.timed_out.retry";
+/// Timed out during shutdown drain.
+pub const TIMED_OUT_DRAIN: &str = "serve.timed_out.drain";
+/// Requests served at a lower tier than requested (downgrades).
+pub const DOWNGRADED: &str = "serve.downgraded";
+/// Batch execution attempts that were retried.
+pub const RETRIES: &str = "serve.retries";
+/// Circuit-breaker open transitions.
+pub const BREAKER_OPENS: &str = "serve.breaker.opens";
+/// Circuit-breaker half-open probe admissions.
+pub const BREAKER_PROBES: &str = "serve.breaker.probes";
+/// Circuit-breaker close transitions (successful probes).
+pub const BREAKER_CLOSES: &str = "serve.breaker.closes";
+/// Completions delivered past their deadline. The runtime converts such
+/// results to timeouts before they reach the client, so this must stay 0.
+pub const DEADLINE_VIOLATIONS: &str = "serve.deadline_violations";
+/// Batches formed by the continuous batcher.
+pub const BATCHES: &str = "serve.batches";
+
+/// Snapshot of the serving counters — a thin view over a
+/// [`MetricsRegistry`], mirroring `GemmStats::from_registry`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed within deadline.
+    pub completed: u64,
+    /// Requests rejected (all reasons).
+    pub rejected: u64,
+    /// Requests shed under overload.
+    pub shed: u64,
+    /// Requests timed out (all stages).
+    pub timed_out: u64,
+    /// Requests served at a downgraded tier.
+    pub downgraded: u64,
+    /// Retried batch attempts.
+    pub retries: u64,
+    /// Breaker open transitions.
+    pub breaker_opens: u64,
+    /// Completions past deadline that escaped conversion (must be 0).
+    pub deadline_violations: u64,
+    /// Batches formed.
+    pub batches: u64,
+}
+
+impl ServeCounters {
+    /// Reads the snapshot back from a registry.
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        Self {
+            submitted: reg.counter(SUBMITTED),
+            completed: reg.counter(COMPLETED),
+            rejected: reg.counter(REJECTED),
+            shed: reg.counter(SHED),
+            timed_out: reg.counter(TIMED_OUT),
+            downgraded: reg.counter(DOWNGRADED),
+            retries: reg.counter(RETRIES),
+            breaker_opens: reg.counter(BREAKER_OPENS),
+            deadline_violations: reg.counter(DEADLINE_VIOLATIONS),
+            batches: reg.counter(BATCHES),
+        }
+    }
+
+    /// Requests with a recorded terminal outcome.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.rejected + self.shed + self.timed_out
+    }
+
+    /// Submitted requests with **no** terminal outcome — the conservation
+    /// law: this must be zero whenever the runtime has drained.
+    pub fn lost(&self) -> i64 {
+        self.submitted as i64 - self.accounted() as i64
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_and_conservation_balances() {
+        let mut reg = MetricsRegistry::new();
+        reg.add(SUBMITTED, 10);
+        reg.add(COMPLETED, 6);
+        reg.add(REJECTED, 2);
+        reg.add(SHED, 1);
+        reg.add(TIMED_OUT, 1);
+        reg.add(DOWNGRADED, 3);
+        reg.add(BATCHES, 4);
+        let c = ServeCounters::from_registry(&reg);
+        assert_eq!(c.submitted, 10);
+        assert_eq!(c.accounted(), 10);
+        assert_eq!(c.lost(), 0);
+        assert_eq!(c.downgraded, 3);
+        assert_eq!(c.deadline_violations, 0);
+    }
+
+    #[test]
+    fn lost_requests_are_visible_in_both_directions() {
+        let mut reg = MetricsRegistry::new();
+        reg.add(SUBMITTED, 5);
+        reg.add(COMPLETED, 3);
+        assert_eq!(ServeCounters::from_registry(&reg).lost(), 2);
+        reg.add(COMPLETED, 4); // double-counted outcomes go negative
+        assert_eq!(ServeCounters::from_registry(&reg).lost(), -2);
+    }
+}

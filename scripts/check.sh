@@ -19,6 +19,11 @@
 #                                 RAPID_SIMD=force and RAPID_SIMD=off, and
 #                                 a timed kernel_speed smoke (which asserts
 #                                 bit-exactness inline)
+#   scripts/check.sh --serve      serving gate only: clippy on the serve
+#                                 crate (unwrap/expect denied), the serving
+#                                 integration tests, a timed serving_sweep
+#                                 smoke (chaos sweep included) with --json,
+#                                 and schema validation of its record
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -102,9 +107,39 @@ if [[ "${1:-}" == "--protection" ]]; then
     exit 0
 fi
 
+serve_gate() {
+    echo "== cargo clippy -p rapid-serve (deny warnings; the crate denies unwrap/expect) =="
+    cargo clippy -p rapid-serve --all-targets -- -D warnings
+    echo "== serving integration tests (conservation, determinism, breaker, chaos) =="
+    cargo test --release -p rapid --test serving -q
+    echo "== serving_sweep --smoke --json (hard 120s timeout; includes the chaos cell) =="
+    cargo build --release -p rapid-bench --bin serving_sweep --bin telemetry_report
+    local out="target/serve-gate"
+    rm -rf "$out" && mkdir -p "$out"
+    timeout 120 ./target/release/serving_sweep --smoke --json "$out/serving_sweep.json"
+    echo "== telemetry_report --validate on the emitted record =="
+    # Wrap the single bench record as a one-element aggregate and validate
+    # both layers of the schema with the repo's own validator.
+    printf '{"schema":"rapid-bench-aggregate-v1","records":[%s]}' \
+        "$(cat "$out/serving_sweep.json")" > "$out/aggregate.json"
+    ./target/release/telemetry_report "$out/aggregate.json" --validate
+    # The serving contracts, straight off the record: nothing lost, nothing
+    # delivered late, anywhere in the sweep (chaos cells included).
+    grep -q '"sweep.lost_total":0' "$out/serving_sweep.json" \
+        || { echo "record is missing sweep.lost_total == 0"; exit 1; }
+    grep -q '"sweep.deadline_violations_total":0' "$out/serving_sweep.json" \
+        || { echo "record is missing sweep.deadline_violations_total == 0"; exit 1; }
+}
+
 if [[ "${1:-}" == "--simd" ]]; then
     simd_gate
     echo "SIMD checks passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+    serve_gate
+    echo "Serving checks passed."
     exit 0
 fi
 
@@ -124,5 +159,6 @@ recovery_gate
 telemetry_gate
 protection_gate
 simd_gate
+serve_gate
 
 echo "All checks passed."

@@ -1,0 +1,256 @@
+//! Serving-runtime suite: the overload-hardening invariants of DESIGN.md
+//! §10, chaos-tested across random loads and fault plans through the
+//! `rapid` facade.
+//!
+//! The invariants:
+//!
+//! - **Conservation**: every submitted request gets exactly one terminal
+//!   outcome — `completed + rejected + shed + timed_out == submitted` —
+//!   under any load, any config preset, and any fault plan;
+//! - **No late deliveries**: a completion is never handed back past its
+//!   deadline (the engine's own `serve.deadline_violations` self-check
+//!   stays zero even in the deliberately naive preset);
+//! - **Determinism**: the same seed and offered load reproduce the same
+//!   batch compositions, counters, and responses bit-for-bit;
+//! - the **threaded server** (real clocks, real threads) upholds the same
+//!   conservation guarantees as the virtual-time engine it wraps;
+//! - the **circuit breaker** walks Closed → Open → HalfOpen → Closed and
+//!   sheds submissions only while Open.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
+use proptest::prelude::*;
+use rapid::fault::FaultConfig;
+use rapid::numerics::GuardPolicy;
+use rapid::recover::backend::Protection;
+use rapid::serve::breaker::BreakerConfig;
+use rapid::serve::session::SessionError;
+use rapid::serve::{
+    run_open_loop, synthetic_table, EmulatedSession, OfferedLoad, Outcome, OkSession, QosClass,
+    RejectReason, Request, ServeConfig, ServeEngine, Server, Tier,
+};
+use rapid::telemetry::ServeCounters;
+
+/// Conservation plus the no-late-delivery self-check, in one place.
+fn assert_conserved(c: &ServeCounters) {
+    assert_eq!(
+        c.lost(),
+        0,
+        "conservation violated: submitted {} != accounted {} \
+         (completed {} rejected {} shed {} timed_out {})",
+        c.submitted,
+        c.accounted(),
+        c.completed,
+        c.rejected,
+        c.shed,
+        c.timed_out,
+    );
+    assert_eq!(c.deadline_violations, 0, "a completion was delivered past its deadline");
+}
+
+/// The three presets the sweeps compare, picked by index so proptest can
+/// range over them.
+fn preset(idx: u8) -> ServeConfig {
+    match idx % 3 {
+        0 => ServeConfig::hardened(),
+        1 => ServeConfig::admission_only(),
+        _ => ServeConfig::naive(),
+    }
+}
+
+proptest! {
+    /// Same seed + same offered load ⇒ identical batch compositions,
+    /// counters, and terminal responses, across underload and overload.
+    #[test]
+    fn same_seed_reproduces_identical_batches(
+        qps in 500.0f64..40_000.0,
+        seed in 1u64..1_000_000,
+        budget in 5_000u64..40_000,
+        cfg_idx in 0u8..3,
+    ) {
+        let table = synthetic_table(&["a", "b"], 150.0, 60.0);
+        let cfg = ServeConfig { record_batches: true, ..preset(cfg_idx) };
+        let load = OfferedLoad {
+            qps,
+            duration_us: 40_000,
+            seed,
+            deadline_budget_us: budget,
+            critical_fraction: 0.2,
+            models: vec!["a".into(), "b".into()],
+            tier: Tier::Fp16,
+        };
+        let r1 = run_open_loop(&cfg, &table, &load, &OkSession);
+        let r2 = run_open_loop(&cfg, &table, &load, &OkSession);
+        prop_assert_eq!(r1.counters, r2.counters);
+        prop_assert_eq!(r1.batch_log, r2.batch_log);
+        prop_assert_eq!(r1.responses, r2.responses);
+        assert_conserved(&r1.counters);
+    }
+
+    /// Conservation and zero late deliveries hold across random fault
+    /// plans driving the real emulated kernels — serving transients,
+    /// MAC-accumulator upsets, or both at once.
+    #[test]
+    fn conservation_holds_across_random_fault_plans(
+        transient_rate in 0.0f64..0.4,
+        mac_rate in 0.0f64..0.002,
+        seed in 1u64..1_000_000,
+        cfg_idx in 0u8..3,
+    ) {
+        let table = synthetic_table(&["resnet50", "bert"], 200.0, 80.0);
+        let session = EmulatedSession::new(
+            FaultConfig {
+                serve_transient_rate: transient_rate,
+                mac_acc_rate: mac_rate,
+                exponent_share: 0.7,
+                seed,
+                ..FaultConfig::default()
+            },
+            GuardPolicy::Error,
+            Protection::Abft,
+        );
+        let load = OfferedLoad {
+            qps: 4_000.0,
+            duration_us: 25_000,
+            seed,
+            deadline_budget_us: 20_000,
+            critical_fraction: 0.1,
+            models: vec!["resnet50".into(), "bert".into()],
+            tier: Tier::Hfp8,
+        };
+        let r = run_open_loop(&preset(cfg_idx), &table, &load, &session);
+        assert_conserved(&r.counters);
+        // One terminal response per submitted request, never more.
+        prop_assert_eq!(r.responses.len() as u64, r.counters.submitted);
+    }
+}
+
+/// The threaded server — real clocks, real worker threads, injected
+/// serving transients — upholds the virtual-time guarantees.
+#[test]
+fn threaded_server_conserves_under_injected_transients() {
+    let table = synthetic_table(&["resnet50"], 120.0, 50.0);
+    let cfg = ServeConfig {
+        workers: 3,
+        batch_window_us: 500,
+        drain_timeout_us: 5_000_000,
+        ..ServeConfig::hardened()
+    };
+    let session = EmulatedSession::new(
+        FaultConfig { serve_transient_rate: 0.10, seed: 23, ..FaultConfig::default() },
+        GuardPolicy::Error,
+        Protection::None,
+    );
+    let report = Server::run(cfg, table, &session, |h| {
+        for _ in 0..80 {
+            h.submit("resnet50", Tier::Fp16, QosClass::Standard, 2_000_000);
+        }
+    });
+    assert_eq!(report.counters.submitted, 80);
+    assert_conserved(&report.counters);
+    assert_eq!(report.responses.len(), 80, "one terminal response per request");
+    assert!(report.counters.completed > 0, "transients must not starve the server");
+    assert!(
+        session.fault_counts().serve_transients > 0,
+        "the chaos plan never fired — the test exercised nothing"
+    );
+}
+
+/// Breaker lifecycle at the engine level: repeated failures open it,
+/// submissions bounce while it is open, the cooldown admits one probe,
+/// and a successful probe closes it again.
+#[test]
+fn breaker_opens_sheds_probes_and_recovers() {
+    let table = synthetic_table(&["m"], 100.0, 50.0);
+    let cfg = ServeConfig {
+        workers: 1,
+        batch_max: 1,
+        batch_window_us: 10,
+        retry_max: 0,
+        breaker: Some(BreakerConfig { open_after: 2, cooldown_us: 10_000 }),
+        ..ServeConfig::hardened()
+    };
+    let mut engine = ServeEngine::new(cfg, table);
+    let submit = |engine: &mut ServeEngine, now: u64| -> bool {
+        let id = engine.allocate_id();
+        let req = Request {
+            id,
+            model: "m".to_string(),
+            tier: Tier::Fp16,
+            qos: QosClass::Standard,
+            submit_us: now,
+            deadline_us: now + 1_000_000,
+        };
+        engine.submit(req, now)
+    };
+
+    // Two consecutive failures trip the breaker (open_after = 2).
+    for i in 0..2u64 {
+        let now = 100 * i;
+        assert!(submit(&mut engine, now), "failure #{i} must be admitted");
+        let batch = engine.next_batch(now + 20).expect("batch forms at window");
+        engine.complete_batch(batch, Err(SessionError::Transient), now + 30);
+    }
+    assert_eq!(engine.counters().breaker_opens, 1, "breaker must be open");
+
+    // While open: submissions bounce with the breaker reject reason.
+    assert!(!submit(&mut engine, 300), "open breaker must reject");
+    let last = engine.responses().last().expect("rejection recorded");
+    assert_eq!(last.outcome, Outcome::Rejected(RejectReason::BreakerOpen));
+
+    // Past the cooldown: half-open admits the submission and probes.
+    let after = 300 + 10_000 + 1;
+    assert!(submit(&mut engine, after), "half-open admits a probe candidate");
+    let probe = engine.next_batch(after + 20).expect("probe batch dispatches");
+    assert!(probe.probe, "half-open dispatch must be marked a probe");
+    assert_eq!(probe.requests.len(), 1, "probe batches carry one request");
+    engine.complete_batch(probe, Ok(()), after + 40);
+
+    // Closed again: normal admission and successful service resume.
+    assert!(submit(&mut engine, after + 100), "closed breaker admits");
+    let batch = engine.next_batch(after + 200).expect("normal batch resumes");
+    assert!(!batch.probe);
+    engine.complete_batch(batch, Ok(()), after + 220);
+    let c = engine.counters();
+    assert_eq!(c.breaker_opens, 1, "no re-open after recovery");
+    assert_eq!(c.completed, 2);
+    assert_conserved(&c);
+}
+
+/// The quality ladder engages under overload: at ~3× capacity the
+/// hardened preset downgrades tiers and sheds Standard requests while
+/// Critical requests keep completing at full precision eligibility.
+#[test]
+fn shedding_degrades_standard_before_critical() {
+    let table = synthetic_table(&["m"], 200.0, 100.0);
+    // Anchor the shed watermarks below the admission-limited queue depth
+    // (the serving_sweep bins do the same arithmetic).
+    let shed = rapid::serve::ShedConfig { hi: 0.10, lo: 0.04, ..Default::default() };
+    let cfg = ServeConfig { shed: Some(shed), ..ServeConfig::hardened() };
+    let load = OfferedLoad {
+        qps: 96_000.0, // capacity ≈ 4e6/125 = 32k qps
+        duration_us: 300_000,
+        seed: 9,
+        deadline_budget_us: 25_000,
+        critical_fraction: 0.1,
+        models: vec!["m".into()],
+        tier: Tier::Fp16,
+    };
+    let r = run_open_loop(&cfg, &table, &load, &OkSession);
+    assert_conserved(&r.counters);
+    assert!(r.counters.shed > 0, "overload must engage load shedding");
+    assert!(r.counters.downgraded > 0, "overload must engage tier downgrades");
+    // Downgraded completions really ran at a cheaper tier than asked.
+    let lowered = r
+        .responses
+        .iter()
+        .filter(|resp| {
+            matches!(
+                resp.outcome,
+                Outcome::Completed { downgraded: true, tier, .. } if tier > Tier::Fp16
+            )
+        })
+        .count() as u64;
+    assert_eq!(lowered, r.counters.downgraded, "downgrade flag must match a lowered tier");
+    assert!(r.counters.completed > 0, "the ladder kept serving under overload");
+}
