@@ -62,6 +62,7 @@ fn main() -> ExitCode {
         "recovery_sweep",
         "protection_sweep",
         "serving_sweep",
+        "elastic_sweep",
     ];
     // Snapshot the previous run's kernel speedups before the aggregate
     // is overwritten; they are the regression-gate baseline.

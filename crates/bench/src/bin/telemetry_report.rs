@@ -93,5 +93,43 @@ fn main() -> ExitCode {
             }
         }
     }
+
+    // Elastic-training health: any record carrying the ring.elastic.* /
+    // recover.elastic.* counters gets its survival story summarized.
+    let elastic: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            r.get("metrics")
+                .and_then(Json::as_obj)
+                .is_some_and(|m| m.iter().any(|(k, _)| k.starts_with("ring.elastic.")))
+        })
+        .collect();
+    if !elastic.is_empty() {
+        println!("\nelastic training health:");
+        let counters = [
+            ("recover.elastic.crashes_survived", "crashes survived"),
+            ("recover.elastic.hangs_survived", "hangs survived"),
+            ("ring.elastic.splices", "ring splices"),
+            ("recover.elastic.stragglers_retained", "stragglers waited out"),
+            ("recover.elastic.stragglers_dropped", "stragglers dropped"),
+            ("recover.elastic.barriers", "checkpoint barriers"),
+            ("recover.elastic.epochs_resumed", "epochs resumed"),
+        ];
+        for r in elastic {
+            let name = r.get("experiment").and_then(Json::as_str).unwrap_or("?");
+            let metric = |k: &str| {
+                r.get("metrics").and_then(|m| m.get(k)).and_then(Json::as_f64).unwrap_or(0.0)
+            };
+            println!("  {name}:");
+            for (key, label) in counters {
+                println!("    {label:<24} {:>10.0}", metric(key));
+            }
+            let cycles = metric("recover.elastic.cycles");
+            let ideal = metric("recover.elastic.ideal_cycles");
+            if cycles > 0.0 {
+                println!("    {:<24} {:>9.1}%", "goodput", ideal / cycles * 100.0);
+            }
+        }
+    }
     ExitCode::SUCCESS
 }

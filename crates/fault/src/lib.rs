@@ -81,6 +81,20 @@ pub fn derive_seed(master: u64, label: &str) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the seed of one named RNG *stream* within a session from the
+/// session's master seed and a stream tag (an ASCII-constant discriminator
+/// such as `0x4D4143` for "MAC").
+///
+/// This is the one-multiply-one-xor decoupling every per-domain generator
+/// in this workspace uses: the golden-ratio multiply spreads nearby master
+/// seeds across the space, the tag xor separates streams sharing a master.
+/// Where [`derive_seed`] isolates *experiments* from each other (label
+/// strings, splitmix finalizer), this isolates *domains inside one plan*
+/// — cheap, stable, and shared so call sites never re-spell the constant.
+pub fn derive_stream_seed(seed: u64, tag: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag
+}
+
 /// A small xorshift64* generator: deterministic, seedable, no global
 /// state. Quality is ample for Bernoulli fault draws.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -177,6 +191,27 @@ pub struct FaultConfig {
     /// absorb with bounded retry-with-backoff rather than surface to the
     /// client.
     pub serve_transient_rate: f64,
+    /// Probability (per node per collective exchange) that a training
+    /// node *crashes*: its process dies, its links drop, and it stops
+    /// contributing until it rejoins from a checkpoint. Crashes are
+    /// detected fast — the dead links give a link-down signal.
+    pub node_crash_rate: f64,
+    /// Probability (per node per collective exchange) that a node
+    /// *hangs*: the process stays up (links alive, no link-down signal)
+    /// but makes no progress, so only heartbeat silence reveals it. A
+    /// hung node is spliced out exactly like a crashed one, just later.
+    pub node_hang_rate: f64,
+    /// Probability (per node per collective exchange) that a node runs
+    /// *slow* this exchange — a straggler (thermal throttling, a noisy
+    /// neighbor), not a failure. Its link service time is multiplied by
+    /// [`FaultConfig::node_slow_factor`].
+    pub node_slow_rate: f64,
+    /// Service-time multiplier for a straggling node (≥ 1).
+    pub node_slow_factor: f64,
+    /// Cap on *membership-affecting* node faults (crashes + hangs) one
+    /// plan injects; draws past the budget never fire. `1` is the E22
+    /// "exactly one crash per run" cell; the default is unlimited.
+    pub node_fault_budget: u64,
     /// Bitmask of permanently failed cores (bit `i` set ⇒ core `i` is
     /// dead). A failed core takes no work: the chip-level simulators remap
     /// its partition across the survivors and the analytical model charges
@@ -203,6 +238,11 @@ impl Default for FaultConfig {
             seq_stall_cycles: 32,
             spad_flip_rate: 0.0,
             serve_transient_rate: 0.0,
+            node_crash_rate: 0.0,
+            node_hang_rate: 0.0,
+            node_slow_rate: 0.0,
+            node_slow_factor: 4.0,
+            node_fault_budget: u64::MAX,
             core_failed_mask: 0,
             max_trace_events: 4096,
         }
@@ -231,6 +271,9 @@ impl FaultConfig {
             || self.seq_stall_rate > 0.0
             || self.spad_flip_rate > 0.0
             || self.serve_transient_rate > 0.0
+            || self.node_crash_rate > 0.0
+            || self.node_hang_rate > 0.0
+            || self.node_slow_rate > 0.0
             || self.core_failed_mask != 0
     }
 
@@ -252,6 +295,30 @@ pub enum DeliveryFault {
     Drop,
     /// The flit is delivered twice.
     Duplicate,
+}
+
+/// How a training node misbehaves during one collective exchange.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeFault {
+    /// The node's process dies at phase step `at_step` of the exchange;
+    /// its links drop with it (fast, link-down detection).
+    Crash {
+        /// Phase step (of the exchange the hook was polled for) at which
+        /// the node goes down.
+        at_step: u32,
+    },
+    /// The node stops making progress at `at_step` but its links stay up,
+    /// so only heartbeat silence reveals it (slow, timeout detection).
+    Hang {
+        /// Phase step at which progress stops.
+        at_step: u32,
+    },
+    /// The node straggles for the whole exchange: every transfer it
+    /// services takes `factor`× as long.
+    Slow {
+        /// Service-time multiplier (≥ 1).
+        factor: f64,
+    },
 }
 
 /// One recorded injection, in the order it was drawn within its domain.
@@ -277,6 +344,8 @@ pub enum FaultEvent {
     SpadFlip(u64, u64, u32),
     /// A transient serving-batch execution failure at draw index `site`.
     ServeTransient(u64),
+    /// A node-level fault: `(site index, node id, fault)`.
+    Node(u64, u32, NodeFault),
 }
 
 /// Totals per injector, cheap to compare and report.
@@ -304,6 +373,12 @@ pub struct FaultCounts {
     pub spad_flips: u64,
     /// Transient serving-batch execution failures injected.
     pub serve_transients: u64,
+    /// Node crashes injected.
+    pub node_crashes: u64,
+    /// Node hangs injected.
+    pub node_hangs: u64,
+    /// Straggling (slow) node exchanges injected.
+    pub node_slows: u64,
 }
 
 impl FaultCounts {
@@ -321,6 +396,9 @@ impl FaultCounts {
         reg.add(&format!("{prefix}.seq_stalls"), self.seq_stalls);
         reg.add(&format!("{prefix}.spad_flips"), self.spad_flips);
         reg.add(&format!("{prefix}.serve_transients"), self.serve_transients);
+        reg.add(&format!("{prefix}.node_crashes"), self.node_crashes);
+        reg.add(&format!("{prefix}.node_hangs"), self.node_hangs);
+        reg.add(&format!("{prefix}.node_slows"), self.node_slows);
     }
 }
 
@@ -328,7 +406,7 @@ impl fmt::Display for FaultCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips; {} serve transients",
+            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips; {} serve transients; nodes: {} crashed, {} hung, {} slowed",
             self.mac_operand_flips,
             self.mac_acc_flips,
             self.int_code_flips,
@@ -340,6 +418,9 @@ impl fmt::Display for FaultCounts {
             self.seq_stalls,
             self.spad_flips,
             self.serve_transients,
+            self.node_crashes,
+            self.node_hangs,
+            self.node_slows,
         )
     }
 }
@@ -358,31 +439,38 @@ pub struct FaultPlan {
     seq_rng: XorShift64,
     mem_rng: XorShift64,
     serve_rng: XorShift64,
+    node_rng: XorShift64,
     mac_sites: u64,
     ring_sites: u64,
     seq_sites: u64,
     mem_sites: u64,
     serve_sites: u64,
+    node_sites: u64,
+    node_faults_used: u64,
     trace: Vec<FaultEvent>,
     counts: FaultCounts,
 }
 
 impl FaultPlan {
-    /// Builds a plan. Domain streams are derived from the master seed with
-    /// fixed odd offsets so the domains are decoupled.
+    /// Builds a plan. Domain streams are derived from the master seed via
+    /// [`derive_stream_seed`] with fixed ASCII tags ("MAC", "RING", "SEQ",
+    /// "MEM", "SRVE", "NODE") so the domains are decoupled.
     pub fn new(cfg: FaultConfig) -> Self {
         Self {
             cfg,
-            mac_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x004D_4143),
-            ring_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5249_4E47),
-            seq_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0053_4551),
-            mem_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x004D_454D),
-            serve_rng: XorShift64::new(cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5352_5645),
+            mac_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x004D_4143)),
+            ring_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x5249_4E47)),
+            seq_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x0053_4551)),
+            mem_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x004D_454D)),
+            serve_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x5352_5645)),
+            node_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x4E4F_4445)),
             mac_sites: 0,
             ring_sites: 0,
             seq_sites: 0,
             mem_sites: 0,
             serve_sites: 0,
+            node_sites: 0,
+            node_faults_used: 0,
             trace: Vec::new(),
             counts: FaultCounts::default(),
         }
@@ -433,6 +521,13 @@ impl FaultPlan {
     /// Whether the serving transient-failure injector can fire.
     pub fn serve_enabled(&self) -> bool {
         self.cfg.serve_transient_rate > 0.0
+    }
+
+    /// Whether any node-level injector can fire.
+    pub fn node_enabled(&self) -> bool {
+        self.cfg.node_crash_rate > 0.0
+            || self.cfg.node_hang_rate > 0.0
+            || self.cfg.node_slow_rate > 0.0
     }
 
     /// Whether core `i` is marked permanently failed by this plan.
@@ -606,6 +701,51 @@ impl FaultPlan {
         true
     }
 
+    /// Draws the fate of one node for one collective exchange of `steps`
+    /// phase steps: at most one of crash / hang / slow, in that priority
+    /// order. The elastic allreduce polls this once per (exchange, member).
+    ///
+    /// Crashes and hangs (the membership-affecting faults) are capped by
+    /// [`FaultConfig::node_fault_budget`]; once the budget is spent their
+    /// draws still consume RNG state (so the stream stays aligned across
+    /// budget settings) but never fire. Slow draws are not budgeted — a
+    /// straggler costs time, not membership.
+    pub fn node_fault(&mut self, node: u32, steps: u32) -> Option<NodeFault> {
+        self.node_sites += 1;
+        let site = self.node_sites - 1;
+        let steps = steps.max(1);
+        if self.node_rng.chance(self.cfg.node_crash_rate) {
+            let at_step = self.node_rng.below(steps);
+            if self.node_faults_used < self.cfg.node_fault_budget {
+                self.node_faults_used += 1;
+                self.counts.node_crashes += 1;
+                let fault = NodeFault::Crash { at_step };
+                self.record(FaultEvent::Node(site, node, fault));
+                return Some(fault);
+            }
+            return None;
+        }
+        if self.node_rng.chance(self.cfg.node_hang_rate) {
+            let at_step = self.node_rng.below(steps);
+            if self.node_faults_used < self.cfg.node_fault_budget {
+                self.node_faults_used += 1;
+                self.counts.node_hangs += 1;
+                let fault = NodeFault::Hang { at_step };
+                self.record(FaultEvent::Node(site, node, fault));
+                return Some(fault);
+            }
+            return None;
+        }
+        if self.node_rng.chance(self.cfg.node_slow_rate) {
+            let factor = self.cfg.node_slow_factor.max(1.0);
+            self.counts.node_slows += 1;
+            let fault = NodeFault::Slow { factor };
+            self.record(FaultEvent::Node(site, node, fault));
+            return Some(fault);
+        }
+        None
+    }
+
     /// Draws whether the sequencers stall this cycle, and for how long.
     pub fn seq_stall(&mut self) -> Option<u32> {
         self.seq_sites += 1;
@@ -641,6 +781,7 @@ mod tests {
             assert_eq!(plan.seq_stall(), None);
             assert_eq!(plan.spad_flip(4096), None);
             assert!(!plan.serve_transient());
+            assert_eq!(plan.node_fault(i as u32 % 4, 8), None);
         }
         assert_eq!(plan.counts(), FaultCounts::default());
         assert!(plan.trace().is_empty());
@@ -829,6 +970,82 @@ mod tests {
         assert!((50..150).contains(&hits), "rate 0.25 over 400 draws: {hits}");
         assert!(FaultPlan::new(cfg).serve_enabled());
         assert!(!FaultPlan::disabled().serve_enabled());
+    }
+
+    #[test]
+    fn node_faults_are_deterministic_decoupled_and_in_range() {
+        let cfg = FaultConfig {
+            seed: 31,
+            node_crash_rate: 0.05,
+            node_hang_rate: 0.05,
+            node_slow_rate: 0.2,
+            node_slow_factor: 3.0,
+            mac_operand_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.enabled());
+        let run = |burn_macs: usize| {
+            let mut plan = FaultPlan::new(cfg);
+            for i in 0..burn_macs {
+                plan.mac_operand(i as f32);
+            }
+            let draws: Vec<_> = (0..400).map(|i| plan.node_fault(i % 4, 16)).collect();
+            (draws, plan.counts())
+        };
+        // Same seed → same fates; the node stream must not depend on how
+        // many MAC draws happened first.
+        let (d1, c1) = run(0);
+        let (d2, _) = run(100);
+        assert_eq!(d1, d2);
+        assert!(c1.node_crashes > 0 && c1.node_hangs > 0 && c1.node_slows > 20, "{c1}");
+        for fault in d1.into_iter().flatten() {
+            match fault {
+                NodeFault::Crash { at_step } | NodeFault::Hang { at_step } => {
+                    assert!(at_step < 16);
+                }
+                NodeFault::Slow { factor } => assert!((factor - 3.0).abs() < f64::EPSILON),
+            }
+        }
+    }
+
+    #[test]
+    fn node_fault_budget_caps_crashes_and_hangs_but_not_slows() {
+        let cfg = FaultConfig {
+            seed: 77,
+            node_crash_rate: 1.0,
+            node_fault_budget: 1,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let fired: Vec<_> = (0..50).filter_map(|i| plan.node_fault(i, 8)).collect();
+        assert_eq!(fired.len(), 1, "budget 1 allows exactly one crash");
+        assert!(matches!(fired[0], NodeFault::Crash { .. }));
+        assert_eq!(plan.counts().node_crashes, 1);
+        // Slows are unbudgeted: even with a zero membership budget every
+        // slow draw still fires.
+        let cfg = FaultConfig {
+            seed: 77,
+            node_slow_rate: 1.0,
+            node_fault_budget: 0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        for i in 0..50 {
+            assert!(matches!(plan.node_fault(i, 8), Some(NodeFault::Slow { .. })));
+        }
+        assert_eq!(plan.counts().node_slows, 50);
+    }
+
+    #[test]
+    fn stream_seed_matches_the_legacy_inline_pattern() {
+        // The hoisted helper must be bit-identical to the expression it
+        // replaced, or every seeded trace in the workspace shifts.
+        for (seed, tag) in [(0u64, 0u64), (7, 0x4E4F_4445), (u64::MAX, 0x5352_5645)] {
+            assert_eq!(
+                derive_stream_seed(seed, tag),
+                seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag
+            );
+        }
     }
 
     #[test]

@@ -88,6 +88,54 @@ pub fn degraded_throughput(
     points
 }
 
+/// One point of an elastic N-chip training curve: the system running on
+/// `survivors` of its `world` chips after node losses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticPoint {
+    /// Chips the run started with.
+    pub world: u32,
+    /// Chips still in the ring.
+    pub survivors: u32,
+    /// HFP8 training throughput on the survivors (inputs/s).
+    pub throughput: f64,
+    /// Fraction of the full-world throughput retained (1.0 at
+    /// `survivors == world`).
+    pub retention: f64,
+}
+
+/// The N-chip elastic analogue of [`degraded_throughput`]: training
+/// throughput as the ring shrinks from `world` chips down to
+/// `survivors_floor`, at a fixed global minibatch. Each survivor count is
+/// modeled as the same system with fewer chips — the elastic layer's
+/// post-heal steady state, where the surviving ring carries the full
+/// minibatch (per-chip share grows) over shorter all-reduce hops.
+///
+/// Returns the full-world point first, then one point per lost chip.
+pub fn elastic_training_curve(
+    net: &Network,
+    world: u32,
+    survivors_floor: u32,
+    minibatch: u64,
+    cfg: &ModelConfig,
+) -> Vec<ElasticPoint> {
+    let world = world.max(1);
+    let floor = survivors_floor.clamp(1, world);
+    let mut points = Vec::with_capacity((world - floor + 1) as usize);
+    let mut full = None;
+    for survivors in (floor..=world).rev() {
+        let sys = SystemConfig::training_4x32().with_chips(survivors);
+        let r = evaluate_training(net, &sys, Precision::Hfp8, minibatch, cfg);
+        let base = *full.get_or_insert(r.inputs_per_s);
+        points.push(ElasticPoint {
+            world,
+            survivors,
+            throughput: r.inputs_per_s,
+            retention: r.inputs_per_s / base,
+        });
+    }
+    points
+}
+
 /// Fig 18(b): HFP8 training speedup as the chip count scales at a fixed
 /// global minibatch and fixed 128 GBps chip-to-chip bandwidth.
 pub fn training_chip_scaling(
@@ -176,6 +224,28 @@ mod tests {
         assert!(pts[1].slowdown > 1.0, "3-core slowdown {}", pts[1].slowdown);
         assert!(pts[1].slowdown < 4.0 / 3.0 + 0.05, "slowdown {}", pts[1].slowdown);
         assert!(pts[1].throughput < pts[0].throughput);
+    }
+
+    #[test]
+    fn elastic_curve_degrades_monotonically_and_bounded() {
+        let net = benchmark("resnet50").unwrap();
+        let pts = elastic_training_curve(&net, 4, 1, 512, &ModelConfig::default());
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0].survivors, 4);
+        assert!((pts[0].retention - 1.0).abs() < f64::EPSILON);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].throughput <= w[0].throughput * 1.001,
+                "losing a chip cannot speed training up: {pts:?}"
+            );
+            assert!(w[1].retention <= w[0].retention * 1.001);
+        }
+        // Losing 1 of 4 chips costs at most its compute share (plus it
+        // shortens the ring, so the hit is strictly under 25% + slack).
+        assert!(
+            pts[1].retention > 0.5,
+            "3-of-4 survivors must retain most of the throughput: {pts:?}"
+        );
     }
 
     #[test]

@@ -63,12 +63,14 @@
 pub mod backend;
 pub mod checkpoint;
 pub mod crc;
+pub mod elastic;
 pub mod scaler;
 pub mod train;
 
 pub use backend::{GuardedHfp8Backend, Protection, ABFT_METRIC_PREFIX, BACKEND_METRIC_PREFIX};
 pub use checkpoint::{CheckpointError, CheckpointStore, LayerState, TrainState};
 pub use crc::crc32;
+pub use elastic::{train_elastic, ElasticReport, ElasticTrainConfig, ElasticTrainError};
 pub use scaler::DynamicLossScaler;
 pub use train::{
     train_mlp_resilient, train_qat_resilient, RecoverError, RecoveryReport, ResilientConfig,

@@ -14,7 +14,7 @@
 //! goes to zero). EXPERIMENTS.md E21 plots the resulting curves.
 
 use rapid_arch::precision::Precision;
-use rapid_fault::XorShift64;
+use rapid_fault::{derive_stream_seed, XorShift64};
 use rapid_model::{LatencyEntry, LatencyTable};
 use rapid_telemetry::{MetricsRegistry, ServeCounters};
 
@@ -118,7 +118,9 @@ pub fn run_open_loop(
     session: &dyn InferenceSession,
 ) -> SweepResult {
     let mut engine = ServeEngine::new(cfg.clone(), table.clone());
-    let mut rng = XorShift64::new(load.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+    // Tag 0 keeps the stream bit-identical to the pre-helper spelling
+    // (`x ^ 0 == x`); `| 1` preserves the legacy non-zero guarantee.
+    let mut rng = XorShift64::new(derive_stream_seed(load.seed, 0) | 1);
     let workers = cfg.workers.max(1);
     let mut worker_free = vec![0u64; workers];
     let mut inflight: Vec<InFlight> = Vec::new();

@@ -24,6 +24,17 @@
 #                                 integration tests, a timed serving_sweep
 #                                 smoke (chaos sweep included) with --json,
 #                                 and schema validation of its record
+#   scripts/check.sh --elastic    elastic gate only: clippy on the crates
+#                                 the elastic layer touches, the elastic
+#                                 integration tests, a timed elastic_sweep
+#                                 smoke (hard-asserts crash healing, zero
+#                                 hangs, and ≤2-point accuracy loss) with
+#                                 --json, and schema validation of its
+#                                 record
+#   scripts/check.sh --all        every named gate in sequence (recovery,
+#                                 telemetry, protection, simd, serve,
+#                                 elastic) without the full build/test/
+#                                 clippy preamble
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -131,6 +142,31 @@ serve_gate() {
         || { echo "record is missing sweep.deadline_violations_total == 0"; exit 1; }
 }
 
+elastic_gate() {
+    echo "== cargo clippy on the elastic-touched crates (deny warnings) =="
+    cargo clippy -p rapid-fault -p rapid-ring -p rapid-recover -p rapid-model \
+        --all-targets -- -D warnings
+    echo "== elastic integration tests (heal, catch-up bit-identity, never-hang) =="
+    cargo test --release -p rapid --test elastic --test fault_tolerance -q
+    echo "== elastic_sweep --smoke --json (hard 120s timeout; zero hangs asserted) =="
+    cargo build --release -p rapid-bench --bin elastic_sweep --bin telemetry_report
+    local out="target/elastic-gate"
+    rm -rf "$out" && mkdir -p "$out"
+    timeout 120 ./target/release/elastic_sweep --smoke --json "$out/elastic_sweep.json"
+    echo "== telemetry_report --validate on the emitted record =="
+    # Wrap the single bench record as a one-element aggregate and validate
+    # both layers of the schema with the repo's own validator.
+    printf '{"schema":"rapid-bench-aggregate-v1","records":[%s]}' \
+        "$(cat "$out/elastic_sweep.json")" > "$out/aggregate.json"
+    ./target/release/telemetry_report "$out/aggregate.json" --validate
+    # The elastic contracts, straight off the record: the ring healed and
+    # both layers' counters made it into the telemetry registry.
+    grep -q '"ring.elastic.splices"' "$out/elastic_sweep.json" \
+        || { echo "record is missing the ring.elastic.splices counter"; exit 1; }
+    grep -q '"recover.elastic.crashes_survived"' "$out/elastic_sweep.json" \
+        || { echo "record is missing recover.elastic.crashes_survived"; exit 1; }
+}
+
 if [[ "${1:-}" == "--simd" ]]; then
     simd_gate
     echo "SIMD checks passed."
@@ -140,6 +176,23 @@ fi
 if [[ "${1:-}" == "--serve" ]]; then
     serve_gate
     echo "Serving checks passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--elastic" ]]; then
+    elastic_gate
+    echo "Elastic checks passed."
+    exit 0
+fi
+
+if [[ "${1:-}" == "--all" ]]; then
+    recovery_gate
+    telemetry_gate
+    protection_gate
+    simd_gate
+    serve_gate
+    elastic_gate
+    echo "All named gates passed."
     exit 0
 fi
 
@@ -160,5 +213,6 @@ telemetry_gate
 protection_gate
 simd_gate
 serve_gate
+elastic_gate
 
 echo "All checks passed."

@@ -26,6 +26,7 @@ use rapid::numerics::gemm::{
 use rapid::numerics::int::{IntFormat, QuantParams, Signedness};
 use rapid::numerics::{GuardPolicy, NumericsError, Tensor};
 use rapid::ring::sim::{multicast, unicast, RingSim};
+use rapid::ring::{reliable_allreduce, ReliableConfig, ReliableError};
 use rapid::sim::{run_token_programs, SimError};
 
 fn mats(seed: u64) -> (Tensor, Tensor) {
@@ -243,6 +244,34 @@ proptest! {
             prop_assert_eq!(sim.received_bytes(node), 2048u64, "node {} lost bytes", node);
         }
         prop_assert_eq!(sim.received_bytes(0), 1024u64);
+    }
+
+    /// A permanently dead link (drop rate 1.0) can never deliver: the
+    /// reliable allreduce must come back with the structured
+    /// retries-exhausted error in bounded time — never a hang, never a
+    /// partial sum — whatever the seed, world size, or payload.
+    #[test]
+    fn dead_link_yields_a_structured_timeout_never_a_hang(
+        seed in 0u64..u64::MAX,
+        chips in 2u32..6,
+        elems in 1usize..512,
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..chips)
+            .map(|c| (0..elems).map(|i| (i + c as usize) as f32).collect())
+            .collect();
+        let cfg = ReliableConfig::rapid_training(chips, true);
+        let mut plan = FaultPlan::new(FaultConfig {
+            seed,
+            ring_drop_rate: 1.0,
+            ..FaultConfig::default()
+        });
+        match reliable_allreduce(&inputs, &cfg, Some(&mut plan)) {
+            Err(ReliableError::RetriesExhausted { seq: _, retries }) => {
+                // The reported count is the attempt that broke the budget.
+                prop_assert_eq!(retries, cfg.max_retries + 1, "budget must be fully spent");
+            }
+            other => prop_assert!(false, "dead link must exhaust retries, got {:?}", other),
+        }
     }
 
     /// Saturating guards keep every faulted float GEMM finite, whatever
