@@ -33,7 +33,7 @@ use rapid_refnet::backend::Hfp8Backend;
 use rapid_refnet::data::{gaussian_blobs, Dataset};
 use rapid_refnet::mlp::Mlp;
 use rapid_ring::Membership;
-use rapid_telemetry::Telemetry;
+use rapid_telemetry::{trace_path_from_env, Telemetry, TraceSink};
 use rapid_workloads::suite::benchmark;
 
 const LAYERS: &[usize] = &[16, 32, 4];
@@ -68,11 +68,12 @@ fn run_once(
     world: u32,
     epochs: usize,
     mut plan: Option<FaultPlan>,
+    spans: bool,
 ) -> Result<RunOut, String> {
     let cfg = ElasticTrainConfig { epochs, ..ElasticTrainConfig::rapid_training(world) };
     let mut mlp = Mlp::new(LAYERS, MODEL_SEED);
     let mut mem = Membership::new(world).map_err(|e| e.to_string())?;
-    let mut tele = Telemetry::new();
+    let mut tele = if spans { Telemetry::with_spans() } else { Telemetry::new() };
     let (acc, report) = train_elastic(
         &mut mlp,
         &Hfp8Backend::default(),
@@ -103,7 +104,7 @@ fn run_faulted(
         let child = derive_seed(base_seed, &format!("{label}/try{t}"));
         // A probe can legitimately fail (every member straggling past the
         // deadline empties the exchange) — skip it and keep scanning.
-        let Ok(out) = run_once(data, world, epochs, Some(FaultPlan::new(make(child)))) else {
+        let Ok(out) = run_once(data, world, epochs, Some(FaultPlan::new(make(child))), false) else {
             continue;
         };
         if fired(&out.report) {
@@ -172,7 +173,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // accuracy parity in place.
     let per_world = try_par_map(worlds, |&world| -> Result<(f64, Vec<Row>, Telemetry), String> {
         let mut wtele = Telemetry::new();
-        let clean = run_once(&data, world, epochs, None)?;
+        let clean = run_once(&data, world, epochs, None, false)?;
         if clean.report.steps_run != expected_steps {
             return Err(format!(
                 "world {world}: fault-free run took {} of {expected_steps} steps",
@@ -370,7 +371,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         crash_cfg,
         |r| r.crashes_survived >= 1,
     )?;
-    let second = run_once(&data, 4, epochs, Some(FaultPlan::new(crash_cfg(chosen))))?;
+    let second = run_once(&data, 4, epochs, Some(FaultPlan::new(crash_cfg(chosen))), false)?;
     if first.report.events != second.report.events || first.weights != second.weights {
         return Err("same seed must replay an identical event trace and weights".into());
     }
@@ -428,7 +429,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (st_clean, acc_resumed_clean, w_resumed_clean) = resume_cell("clean", None)?;
     let (st_crash, acc_resumed_crash, w_resumed_crash) = resume_cell("crash1", Some(chosen))?;
     let _ = std::fs::remove_dir_all(&dir);
-    let clean4 = run_once(&data, 4, epochs, None)?;
+    let clean4 = run_once(&data, 4, epochs, None, false)?;
     if w_resumed_clean != clean4.weights {
         return Err("barrier resume must replay the uninterrupted run bit for bit".into());
     }
@@ -471,6 +472,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nthe post-heal steady state: survivors carry the full minibatch over a");
     println!("shorter ring, so retention degrades by roughly the lost compute share.");
+
+    // With RAPID_TRACE set, rerun a small clean world-2 cell with
+    // exchange spans on (cumulative-cycle time base) and export them as
+    // a Chrome trace for Perfetto; the record stamps where it went.
+    if let Some(trace_path) = trace_path_from_env() {
+        section("telemetry — elastic exchange spans (RAPID_TRACE)");
+        let traced = run_once(&data, 2, epochs.min(2), None, true)?;
+        let mut sink = TraceSink::new();
+        if let Some(spans) = &traced.tele.spans {
+            spans.to_trace(&mut sink, 2000, "elastic", "elastic allreduce");
+        }
+        sink.write(&trace_path)?;
+        rec.metric("trace.span_events", sink.len() as f64);
+        rec.config_str("trace_path", &trace_path.display().to_string());
+        println!(
+            "{} exchange spans written to {}",
+            traced.tele.spans.as_ref().map_or(0, rapid_telemetry::SpanSink::len),
+            trace_path.display()
+        );
+    }
 
     rec.merge_registry(&tele.registry);
     rec.finish();

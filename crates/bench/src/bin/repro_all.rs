@@ -63,6 +63,7 @@ fn main() -> ExitCode {
         "protection_sweep",
         "serving_sweep",
         "elastic_sweep",
+        "obs_sweep",
     ];
     // Snapshot the previous run's kernel speedups before the aggregate
     // is overwritten; they are the regression-gate baseline.
@@ -181,6 +182,17 @@ fn main() -> ExitCode {
         ("records".to_string(), Json::Arr(records)),
         ("kernel_gate".to_string(), kernel_gate),
     ]);
+    // Rotate the outgoing aggregate to `BENCH_repro.prev.json` so
+    // `telemetry_report` can diff the perf trajectory across runs.
+    let prev_path = aggregate_path.with_extension("prev.json");
+    if aggregate_path.exists() {
+        if let Err(e) = std::fs::copy(&aggregate_path, &prev_path) {
+            eprintln!(
+                "warning: cannot rotate previous aggregate to {}: {e}",
+                prev_path.display()
+            );
+        }
+    }
     // Atomic publish (same idiom as the checkpoint store): write a .tmp
     // sibling, flush it, rename into place — a crash or a concurrent
     // reader can never observe a truncated BENCH_repro.json, and the

@@ -30,6 +30,7 @@ use rapid_recover::backend::Protection;
 use rapid_serve::{
     run_open_loop, EmulatedSession, OfferedLoad, OkSession, ServeConfig, SweepResult, Tier,
 };
+use rapid_telemetry::{spans_to_trace, trace_path_from_env, TraceSink};
 use rapid_workloads::graph::Network;
 use rapid_workloads::suite::benchmark_suite;
 
@@ -199,6 +200,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rec.metric(&format!("{prefix}.downgraded"), c.downgraded as f64);
         rec.metric(&format!("{prefix}.rejected"), c.rejected as f64);
         rec.metric(&format!("{prefix}.timed_out"), c.timed_out as f64);
+        rec.metric(&format!("{prefix}.slo_alerts"), cell.result.slo.total_alerts() as f64);
     }
 
     let goodput = |cfg: &str, mult: &str| {
@@ -255,6 +257,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rec.metric(&format!("chaos.{label}.completed"), c.completed as f64);
         rec.metric(&format!("chaos.{label}.retries"), c.retries as f64);
         rec.metric(&format!("chaos.{label}.breaker_opens"), c.breaker_opens as f64);
+        rec.metric(&format!("chaos.{label}.slo_alerts"), r.slo.total_alerts() as f64);
         lost_total += c.lost();
         violations_total += c.deadline_violations;
     }
@@ -268,6 +271,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("invariants");
     rec.metric("sweep.lost_total", lost_total as f64);
     rec.metric("sweep.deadline_violations_total", violations_total as f64);
+    // The burn-rate monitors ride every cell; the fault-free underloaded
+    // one must never page.
+    let alerts_05 = cells
+        .iter()
+        .find(|c| c.config == "hardened" && c.mult_label == "0.5x")
+        .map_or(0, |c| c.result.slo.total_alerts());
     let h1 = goodput("hardened", "1x");
     let h2 = goodput("hardened", "2x");
     let n2 = goodput("naive", "2x");
@@ -277,6 +286,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rec.metric("sweep.naive_2x_vs_hardened", collapse);
     println!("lost requests (all cells):            {lost_total}");
     println!("deadline-violating completions:       {violations_total}");
+    println!("SLO alerts in hardened 0.5x (clean):  {alerts_05}");
     println!("hardened goodput retention 1x → 2x:   {:.1}%", retention * 100.0);
     println!("naive/hardened goodput ratio at 2x:   {:.2}", collapse);
 
@@ -298,6 +308,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "naive runtime did not collapse at 2x (got {:.2} of hardened goodput; expected < 0.5)",
             collapse
         ));
+    }
+    if alerts_05 != 0 {
+        errors.push(format!(
+            "burn-rate rules fired {alerts_05} alerts in the fault-free hardened 0.5x cell"
+        ));
+    }
+
+    // With RAPID_TRACE set, rerun the hardened 1x clean cell with request
+    // spans on and export them as a Chrome trace for Perfetto; the record
+    // stamps where the trace went.
+    if let Some(trace_path) = trace_path_from_env() {
+        section("telemetry — request spans from the hardened 1x cell (RAPID_TRACE)");
+        let span_cfg = ServeConfig { record_spans: true, span_seed: seed, ..hardened.clone() };
+        let span_load = OfferedLoad {
+            qps: sat_qps,
+            duration_us: duration_us.min(200_000),
+            seed: derive_seed(seed, "serving_sweep/trace"),
+            deadline_budget_us,
+            critical_fraction: 0.1,
+            models: models.clone(),
+            tier: Tier::Fp16,
+        };
+        let r = run_open_loop(&span_cfg, &table, &span_load, &OkSession);
+        let mut trace = TraceSink::new();
+        spans_to_trace(&r.spans, &mut trace, 1000, "serve", "serve requests");
+        trace.write(&trace_path)?;
+        rec.metric("trace.span_events", trace.len() as f64);
+        rec.config_str("trace_path", &trace_path.display().to_string());
+        println!("{} request spans written to {}", r.spans.len(), trace_path.display());
     }
     rec.finish();
     if let Some(e) = errors.first() {

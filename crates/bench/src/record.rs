@@ -17,7 +17,8 @@
 //! ```
 
 use rapid_fault::FaultConfig;
-use rapid_telemetry::{Json, MetricsRegistry, BENCH_SCHEMA};
+use rapid_telemetry::registry::Metric;
+use rapid_telemetry::{metrics_path_from_env, openmetrics, Json, MetricsRegistry, BENCH_SCHEMA};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -52,6 +53,10 @@ pub struct BenchRecord {
     start: Instant,
     config: Vec<(String, Json)>,
     metrics: Vec<(String, f64)>,
+    /// Accumulated native telemetry (counters/gauges/histograms) from
+    /// every [`BenchRecord::merge_registry`] call — the OpenMetrics
+    /// snapshot source.
+    registry: MetricsRegistry,
 }
 
 impl BenchRecord {
@@ -63,6 +68,7 @@ impl BenchRecord {
             start: Instant::now(),
             config: Vec::new(),
             metrics: Vec::new(),
+            registry: MetricsRegistry::new(),
         };
         r.config_num("threads", crate::num_threads() as f64);
         r.config_num("fault_seed", FaultConfig::seed_from_env(0) as f64);
@@ -116,6 +122,29 @@ impl BenchRecord {
                 }
             }
         }
+        self.registry.merge(reg);
+    }
+
+    /// Renders the record as an OpenMetrics text snapshot: every merged
+    /// registry metric natively (histograms keep their buckets), plus the
+    /// record's scalar metrics as gauges, all labeled with the experiment
+    /// name. Scalar metrics shadowed by a native registry entry — or by a
+    /// histogram's `.count`/`.sum`/... expansion keys — are skipped so no
+    /// family is emitted twice.
+    pub fn to_openmetrics(&self) -> String {
+        let mut reg = self.registry.clone();
+        for (k, v) in &self.metrics {
+            if reg.get(k).is_some() {
+                continue;
+            }
+            if let Some((base, _)) = k.rsplit_once('.') {
+                if matches!(reg.get(base), Some(Metric::Histogram(_))) {
+                    continue;
+                }
+            }
+            reg.set_gauge(k, *v);
+        }
+        openmetrics::render_labeled(&reg, &[("experiment", &self.experiment)])
     }
 
     /// Elapsed wall-clock since construction, in milliseconds.
@@ -137,9 +166,10 @@ impl BenchRecord {
     }
 
     /// The standard epilogue every bench binary calls last: prints the
-    /// uniform wall-clock/threads/seed line and writes the JSON record
-    /// when `--json` was passed. Exits non-zero if the write fails, so a
-    /// requested record is never silently missing.
+    /// uniform wall-clock/threads/seed line, writes the JSON record when
+    /// `--json` was passed, and dumps a validated OpenMetrics snapshot
+    /// when `RAPID_METRICS=<path>` is set. Exits non-zero if a requested
+    /// artifact cannot be written, so it is never silently missing.
     pub fn finish(&self) {
         println!(
             "\n[{}] wall-clock {:.2}s, {} worker threads, fault seed {}",
@@ -155,6 +185,22 @@ impl BenchRecord {
                 eprintln!("[{}] error: cannot write --json record: {e}", self.experiment);
                 std::process::exit(1);
             }
+        }
+        if let Some(path) = metrics_path_from_env() {
+            let text = self.to_openmetrics();
+            if let Err(e) = openmetrics::validate(&text) {
+                eprintln!("[{}] error: OpenMetrics snapshot invalid: {e}", self.experiment);
+                std::process::exit(1);
+            }
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!(
+                    "[{}] error: cannot write RAPID_METRICS snapshot {}: {e}",
+                    self.experiment,
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+            println!("[{}] wrote OpenMetrics snapshot {}", self.experiment, path.display());
         }
     }
 
@@ -236,6 +282,25 @@ mod tests {
             config.iter().find(|(k, _)| k == "simd_detected").expect("simd_detected present");
         assert!(matches!(detected.1, Json::Bool(_)));
         validate_bench_record(&j).expect("record with simd stamp must validate");
+    }
+
+    #[test]
+    fn openmetrics_snapshot_validates_and_keeps_histograms_native() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("serve.submitted", 10);
+        reg.observe("serve.latency_us", 900);
+        reg.observe("serve.latency_us", 1_800);
+        let mut r = BenchRecord::new("unit_test");
+        r.merge_registry(&reg);
+        r.metric("sweep.goodput_qps", 123.5);
+        let text = r.to_openmetrics();
+        let doc = rapid_telemetry::validate_openmetrics(&text).expect("snapshot validates");
+        assert_eq!(doc.counter("serve_submitted"), Some(10.0));
+        assert_eq!(doc.gauge("sweep_goodput_qps"), Some(123.5));
+        // The histogram stays native; its fold-derived scalar metrics
+        // (`serve.latency_us.count`, ...) must not shadow it as gauges.
+        assert_eq!(doc.histogram("serve_latency_us"), Some((2.0, 2700.0)));
+        assert!(doc.gauge("serve_latency_us_count").is_none());
     }
 
     #[test]

@@ -567,9 +567,35 @@ pub fn elastic_allreduce_instrumented(
 ) -> Result<ElasticOutcome, ElasticError> {
     let out = elastic_allreduce(inputs, membership, cfg, faults)?;
     if let Some(t) = tele {
+        // The cumulative exchange-cycle counter doubles as the span time
+        // base: exchange N starts where exchange N-1 ended, so a whole
+        // training run renders as contiguous exchange spans.
+        let base = t.registry.counter("ring.elastic.cycles");
         out.health.record_into(&mut t.registry, "ring.elastic");
         t.registry.incr("ring.elastic.exchanges");
         t.registry.counter_max("ring.elastic.epoch", out.epoch);
+        if let Some(spans) = &mut t.spans {
+            let n = t.registry.counter("ring.elastic.exchanges");
+            let h = &out.health;
+            let ctx = spans.open_root(rapid_telemetry::span::derive_trace_id(
+                u64::from_le_bytes(*b"elastic\0"),
+                n,
+            ));
+            let end = base + h.cycles;
+            let mut at = base;
+            for (stage, dur) in [
+                ("detect", h.detect_cycles),
+                ("heal", h.heal_cycles),
+                ("transfer", h.cycles.saturating_sub(h.detect_cycles + h.heal_cycles)),
+            ] {
+                let stop = (at + dur).min(end);
+                if stop > at {
+                    spans.child(ctx, stage, at, stop);
+                    at = stop;
+                }
+            }
+            spans.close_root(ctx, "exchange", "elastic/allreduce", base, base + h.cycles);
+        }
     }
     Ok(out)
 }
@@ -801,5 +827,40 @@ mod tests {
         assert_eq!(tele.registry.counter("ring.elastic.crashes_detected"), 1);
         let round = ElasticHealth::from_registry(&tele.registry, "ring.elastic");
         assert_eq!(round, out.health, "registry round-trips the health report");
+        // No span sink attached → no spans recorded.
+        assert!(tele.spans.is_none());
+    }
+
+    #[test]
+    fn instrumented_exchanges_emit_contiguous_spans() {
+        use rapid_telemetry::span::{critical_path, validate_forest};
+        let inputs = gradients(4, 2048);
+        let cfg = ElasticConfig::rapid_training(4, true);
+        let mut mem = Membership::new(4).unwrap();
+        let mut plan = crash_plan(21, 1.0, 1);
+        let mut tele = rapid_telemetry::Telemetry::with_spans();
+        for _ in 0..3 {
+            elastic_allreduce_instrumented(
+                &inputs,
+                &mut mem,
+                &cfg,
+                Some(&mut plan),
+                Some(&mut tele),
+            )
+            .unwrap();
+        }
+        let spans = tele.spans.as_ref().unwrap().spans();
+        validate_forest(spans).unwrap();
+        let roots: Vec<_> = spans.iter().filter(|s| s.parent_id == 0).collect();
+        assert_eq!(roots.len(), 3, "one exchange root per allreduce");
+        // Exchange N starts where N-1 ended (cumulative-cycle time base).
+        for pair in roots.windows(2) {
+            assert_eq!(pair[1].start, pair[0].end);
+        }
+        let cp = critical_path(spans);
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp[0].class, "elastic/allreduce");
+        assert_eq!(cp[0].attributed(), cp[0].total, "stages partition the exchange");
+        assert!(cp[0].stages.iter().any(|(n, _)| *n == "transfer"));
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::channel::FLIT_BYTES;
 use rapid_arch::isa::MniInstr;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A send waiting for its consumer requests to aggregate.
 #[derive(Debug, Clone)]
@@ -49,13 +49,16 @@ pub struct MniNode {
     pub id: usize,
     /// Remaining program.
     pub program: VecDeque<MniInstr>,
-    /// Sends awaiting request aggregation, by tag.
-    pub pending_sends: HashMap<u16, PendingSend>,
+    /// Sends awaiting request aggregation, by tag. Ordered map: when two
+    /// sends become ready in the same cycle, [`Self::activate_next`]
+    /// must pick the same one every run (lowest tag), or cycle counts
+    /// jitter run-to-run.
+    pub pending_sends: BTreeMap<u16, PendingSend>,
     /// The send currently streaming (one per node; the ring interface
     /// serializes injections).
     pub active_send: Option<ActiveSend>,
     /// Outstanding receives by tag (the load queue).
-    pub load_queue: HashMap<u16, LoadEntry>,
+    pub load_queue: BTreeMap<u16, LoadEntry>,
     /// Load-queue capacity: programs stall on `Recv` when full.
     pub max_outstanding: usize,
     /// Requests this node still has to put on the ring: `(producer, tag,
@@ -81,9 +84,9 @@ impl MniNode {
         Self {
             id,
             program: VecDeque::new(),
-            pending_sends: HashMap::new(),
+            pending_sends: BTreeMap::new(),
             active_send: None,
-            load_queue: HashMap::new(),
+            load_queue: BTreeMap::new(),
             max_outstanding: 16,
             request_backlog: VecDeque::new(),
             retransmit: VecDeque::new(),

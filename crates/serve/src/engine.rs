@@ -26,6 +26,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use rapid_model::LatencyTable;
 use rapid_telemetry::serve as names;
+use rapid_telemetry::slo::{SloConfig, SloMonitor, SloReport};
+use rapid_telemetry::span::{derive_trace_id, SpanContext, SpanRecord, SpanSink};
 use rapid_telemetry::{MetricsRegistry, ServeCounters};
 
 use crate::breaker::{Admit, BreakerConfig, CircuitBreaker};
@@ -66,6 +68,35 @@ pub struct ServeConfig {
     pub drain_timeout_us: u64,
     /// Record batch compositions for determinism tests.
     pub record_batches: bool,
+    /// Record request-scoped spans (admission → queue → exec → retry
+    /// stages with a root per request). Off by default; purely
+    /// observational — results are bit-identical either way.
+    pub record_spans: bool,
+    /// Seed mixed into span trace ids (so concurrent cells in a sweep
+    /// get disjoint trace-id streams).
+    pub span_seed: u64,
+    /// Burn-rate SLO rules evaluated on the engine's virtual clock;
+    /// `None` disables monitoring. Observers only — never changes
+    /// scheduling decisions.
+    pub slo: Option<SloPolicy>,
+}
+
+/// The engine's SLO rule pair: deadline violations and shed rate, each a
+/// multi-window burn-rate rule (see [`rapid_telemetry::slo`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Deadline-violation rule: bad = timed out or failed execution,
+    /// over requests that reached a terminal post-admission state.
+    pub deadline: SloConfig,
+    /// Shed-rate rule: bad = shed or load-rejected (queue full, breaker,
+    /// infeasible deadline), over all non-shutdown traffic.
+    pub shed: SloConfig,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self { deadline: SloConfig::deadline_default(), shed: SloConfig::shed_default() }
+    }
 }
 
 impl Default for ServeConfig {
@@ -84,6 +115,9 @@ impl Default for ServeConfig {
             workers: 4,
             drain_timeout_us: 200_000,
             record_batches: false,
+            record_spans: false,
+            span_seed: 0,
+            slo: Some(SloPolicy::default()),
         }
     }
 }
@@ -130,6 +164,20 @@ struct RetryEntry {
     eligible_us: u64,
 }
 
+/// Per-request span bookkeeping: the open root context plus the stage
+/// currently running. Stages are contiguous by construction (each
+/// transition closes the previous stage at the instant the next one
+/// starts), so per-request attribution sums to the root duration
+/// exactly.
+#[derive(Debug, Clone)]
+struct SpanState {
+    ctx: SpanContext,
+    stage: &'static str,
+    stage_start: u64,
+    root_start: u64,
+    class: String,
+}
+
 /// One formed batch, as recorded for the determinism proptests.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchLogEntry {
@@ -167,12 +215,19 @@ pub struct ServeEngine {
     /// resumes after it so no model starves behind a lexicographically
     /// earlier one (deterministic round-robin).
     rr_cursor: Option<(String, Tier)>,
+    spans: Option<SpanSink>,
+    span_states: BTreeMap<RequestId, SpanState>,
+    slo_deadline: Option<SloMonitor>,
+    slo_shed: Option<SloMonitor>,
 }
 
 impl ServeEngine {
     /// A fresh engine over a calibrated (or synthetic) latency table.
     pub fn new(cfg: ServeConfig, table: LatencyTable) -> Self {
         let shed = cfg.shed.map(ShedController::new);
+        let spans = cfg.record_spans.then(SpanSink::new);
+        let slo_deadline = cfg.slo.map(|p| SloMonitor::new("deadline", p.deadline));
+        let slo_shed = cfg.slo.map(|p| SloMonitor::new("shed", p.shed));
         Self {
             cfg,
             table,
@@ -190,6 +245,43 @@ impl ServeEngine {
             inflight: 0,
             batch_log: Vec::new(),
             rr_cursor: None,
+            spans,
+            span_states: BTreeMap::new(),
+            slo_deadline,
+            slo_shed,
+        }
+    }
+
+    /// Opens the root span for a freshly submitted request (span
+    /// recording only).
+    fn span_open(&mut self, req: &Request, now_us: u64) {
+        let Some(sink) = &mut self.spans else { return };
+        let ctx = sink.open_root(derive_trace_id(self.cfg.span_seed, req.id));
+        self.span_states.insert(
+            req.id,
+            SpanState {
+                ctx,
+                stage: "admission",
+                stage_start: now_us,
+                root_start: now_us,
+                class: format!("{}/{}", req.model, req.tier.label()),
+            },
+        );
+    }
+
+    /// Closes the request's current stage span at `now_us` and opens
+    /// `stage` in its place.
+    fn span_stage(&mut self, id: RequestId, stage: &'static str, now_us: u64) {
+        if self.spans.is_none() {
+            return;
+        }
+        if let Some(state) = self.span_states.get_mut(&id) {
+            let (ctx, prev, start) = (state.ctx, state.stage, state.stage_start);
+            state.stage = stage;
+            state.stage_start = now_us;
+            if let Some(sink) = &mut self.spans {
+                sink.child(ctx, prev, start, now_us);
+            }
         }
     }
 
@@ -214,20 +306,21 @@ impl ServeEngine {
     /// terminal rejection was already recorded.
     pub fn submit(&mut self, req: Request, now_us: u64) -> bool {
         self.reg.incr(names::SUBMITTED);
+        self.span_open(&req, now_us);
         if self.draining {
-            self.finish(req, Outcome::Rejected(RejectReason::Shutdown));
+            self.finish(req, Outcome::Rejected(RejectReason::Shutdown), now_us);
             return false;
         }
         if self.cfg.breaker.is_some() {
             if let Some(b) = self.breakers.get_mut(&req.model) {
                 if b.rejects_submissions(now_us) {
-                    self.finish(req, Outcome::Rejected(RejectReason::BreakerOpen));
+                    self.finish(req, Outcome::Rejected(RejectReason::BreakerOpen), now_us);
                     return false;
                 }
             }
         }
         if self.queued_total >= self.cfg.queue_cap {
-            self.finish(req, Outcome::Rejected(RejectReason::QueueFull));
+            self.finish(req, Outcome::Rejected(RejectReason::QueueFull), now_us);
             return false;
         }
         let est = self.work_estimate(&req.model, req.tier);
@@ -240,12 +333,13 @@ impl ServeEngine {
             let eta = now_us as f64
                 + self.cfg.admission_slack * (backlog + self.cfg.batch_window_us as f64 + own);
             if eta > req.deadline_us as f64 {
-                self.finish(req, Outcome::Rejected(RejectReason::DeadlineInfeasible));
+                self.finish(req, Outcome::Rejected(RejectReason::DeadlineInfeasible), now_us);
                 return false;
             }
         }
         self.queued_total += 1;
         self.queued_work_us += est;
+        self.span_stage(req.id, "queue", now_us);
         self.queues
             .entry((req.model.clone(), req.tier))
             .or_default()
@@ -279,7 +373,7 @@ impl ServeEngine {
             }
             for item in expired {
                 self.remove_queued_accounting(&item);
-                self.finish(item.req, Outcome::TimedOut(TimeoutStage::Queue));
+                self.finish(item.req, Outcome::TimedOut(TimeoutStage::Queue), now_us);
             }
         }
     }
@@ -367,10 +461,13 @@ impl ServeEngine {
                     batch.requests.into_iter().partition(|r| r.deadline_us >= now_us);
                 batch.requests = live;
                 for req in dead {
-                    self.finish(req, Outcome::TimedOut(TimeoutStage::Retry));
+                    self.finish(req, Outcome::TimedOut(TimeoutStage::Retry), now_us);
                 }
             }
             if !batch.requests.is_empty() {
+                for id in batch.requests.iter().map(|r| r.id).collect::<Vec<_>>() {
+                    self.span_stage(id, "exec", now_us);
+                }
                 return Some(batch);
             }
         }
@@ -418,7 +515,7 @@ impl ServeEngine {
         }
         for (item, outcome) in dropped {
             self.remove_queued_accounting(&item);
-            self.finish(item.req, outcome);
+            self.finish(item.req, outcome, now_us);
         }
         let tier = batch_tier?;
         if member_items.is_empty() {
@@ -427,6 +524,7 @@ impl ServeEngine {
         let mut members: Vec<Request> = Vec::with_capacity(member_items.len());
         for item in member_items {
             self.remove_queued_accounting(&item);
+            self.span_stage(item.req.id, "exec", now_us);
             members.push(item.req);
         }
         let id = self.next_batch_id;
@@ -466,13 +564,14 @@ impl ServeEngine {
                 }
                 for req in batch.requests {
                     if now_us > req.deadline_us {
-                        self.finish(req, Outcome::TimedOut(TimeoutStage::Exec));
+                        self.finish(req, Outcome::TimedOut(TimeoutStage::Exec), now_us);
                     } else {
                         let downgraded = batch.tier > req.tier;
                         let latency_us = now_us.saturating_sub(req.submit_us);
                         self.finish(
                             req,
                             Outcome::Completed { tier: batch.tier, latency_us, downgraded },
+                            now_us,
                         );
                     }
                 }
@@ -488,6 +587,9 @@ impl ServeEngine {
                 batch.attempts += 1;
                 if batch.attempts <= self.cfg.retry_max {
                     self.reg.incr(names::RETRIES);
+                    for id in batch.requests.iter().map(|r| r.id).collect::<Vec<_>>() {
+                        self.span_stage(id, "retry_wait", now_us);
+                    }
                     let shift = (batch.attempts - 1).min(16);
                     let backoff = self.cfg.retry_backoff_us.saturating_mul(1 << shift);
                     let eligible_us = now_us.saturating_add(backoff);
@@ -499,7 +601,7 @@ impl ServeEngine {
                     self.retries.insert(pos, RetryEntry { batch, eligible_us });
                 } else {
                     for req in batch.requests {
-                        self.finish(req, Outcome::Rejected(RejectReason::ExecFailed));
+                        self.finish(req, Outcome::Rejected(RejectReason::ExecFailed), now_us);
                     }
                 }
             }
@@ -523,27 +625,70 @@ impl ServeEngine {
     }
 
     /// Time-outs everything still queued or awaiting retry — the drain
-    /// window closed. In-flight batches must be completed by the caller
-    /// first.
-    pub fn abort_remaining(&mut self) {
+    /// window closed at `now_us`. In-flight batches must be completed by
+    /// the caller first.
+    pub fn abort_remaining(&mut self, now_us: u64) {
         let mut leftovers: Vec<Queued> = Vec::new();
         for (_, mut q) in std::mem::take(&mut self.queues) {
             leftovers.extend(q.drain(..));
         }
         for item in leftovers {
             self.remove_queued_accounting(&item);
-            self.finish(item.req, Outcome::TimedOut(TimeoutStage::Drain));
+            self.finish(item.req, Outcome::TimedOut(TimeoutStage::Drain), now_us);
         }
         for entry in std::mem::take(&mut self.retries) {
             for req in entry.batch.requests {
-                self.finish(req, Outcome::TimedOut(TimeoutStage::Drain));
+                self.finish(req, Outcome::TimedOut(TimeoutStage::Drain), now_us);
+            }
+        }
+    }
+
+    /// Feeds the two SLO monitors with the request's terminal outcome.
+    /// An alert transition is mirrored into the registry as
+    /// `serve.slo.<rule>.alerts` so sweeps and scrapes see it.
+    fn slo_observe(&mut self, outcome: &Outcome, now_us: u64) {
+        // deadline rule: over post-admission terminal states; shed rule:
+        // over all non-shutdown traffic. `None` = outcome not in scope.
+        let (deadline_bad, shed_bad): (Option<bool>, Option<bool>) = match outcome {
+            Outcome::Completed { .. } => (Some(false), Some(false)),
+            Outcome::TimedOut(_) => (Some(true), Some(false)),
+            Outcome::Rejected(RejectReason::ExecFailed) => (Some(true), Some(false)),
+            Outcome::Shed => (None, Some(true)),
+            Outcome::Rejected(
+                RejectReason::QueueFull
+                | RejectReason::BreakerOpen
+                | RejectReason::DeadlineInfeasible,
+            ) => (None, Some(true)),
+            Outcome::Rejected(RejectReason::Shutdown) => (None, None),
+        };
+        for (monitor, bad) in [
+            (&mut self.slo_deadline, deadline_bad),
+            (&mut self.slo_shed, shed_bad),
+        ] {
+            if let (Some(m), Some(bad)) = (monitor.as_mut(), bad) {
+                let before = m.alerts().len();
+                m.observe(now_us, bad);
+                if m.alerts().len() > before {
+                    self.reg.incr(&format!("serve.slo.{}.alerts", m.name()));
+                }
             }
         }
     }
 
     /// The single terminal-outcome accounting path. Every request passes
     /// through here exactly once; the conservation law is a corollary.
-    fn finish(&mut self, req: Request, outcome: Outcome) {
+    /// `now_us` closes the request's span and timestamps its SLO event —
+    /// accounting itself does not read the clock.
+    fn finish(&mut self, req: Request, outcome: Outcome, now_us: u64) {
+        if self.spans.is_some() {
+            if let Some(state) = self.span_states.remove(&req.id) {
+                if let Some(sink) = &mut self.spans {
+                    sink.child(state.ctx, state.stage, state.stage_start, now_us);
+                    sink.close_root(state.ctx, "request", &state.class, state.root_start, now_us);
+                }
+            }
+        }
+        self.slo_observe(&outcome, now_us);
         match &outcome {
             Outcome::Completed { latency_us, downgraded, .. } => {
                 self.reg.incr(names::COMPLETED);
@@ -630,6 +775,30 @@ impl ServeEngine {
     /// [`ServeConfig::record_batches`]).
     pub fn batch_log(&self) -> &[BatchLogEntry] {
         &self.batch_log
+    }
+
+    /// Recorded request spans (empty unless
+    /// [`ServeConfig::record_spans`]).
+    pub fn spans(&self) -> &[SpanRecord] {
+        self.spans.as_ref().map(SpanSink::spans).unwrap_or(&[])
+    }
+
+    /// Takes the span sink out of the engine (for merging into a shared
+    /// trace), leaving span recording disabled.
+    pub fn take_spans(&mut self) -> Option<SpanSink> {
+        self.spans.take()
+    }
+
+    /// The burn-rate rule outcomes so far (empty when
+    /// [`ServeConfig::slo`] is `None`).
+    pub fn slo_report(&self) -> SloReport {
+        SloReport {
+            rules: [&self.slo_deadline, &self.slo_shed]
+                .into_iter()
+                .flatten()
+                .map(SloMonitor::report)
+                .collect(),
+        }
     }
 }
 
@@ -889,11 +1058,107 @@ mod tests {
         }
         let b = e.next_batch(2_100).expect("batch");
         e.complete_batch(b, Err(SessionError::Transient), 2_200); // → retry queue
-        e.abort_remaining();
+        e.abort_remaining(2_300);
         let c = e.counters();
         assert_eq!(c.lost(), 0);
         assert_eq!(e.registry().counter(names::TIMED_OUT_DRAIN), 3);
         assert!(e.idle());
+    }
+
+    #[test]
+    fn spans_cover_the_request_lifecycle_exactly() {
+        use rapid_telemetry::span::{critical_path, validate_forest};
+        let cfg = ServeConfig {
+            record_spans: true,
+            retry_max: 1,
+            retry_backoff_us: 100,
+            breaker: None,
+            admission: false,
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        let r = req(&mut e, 0, 1_000_000);
+        assert!(e.submit(r, 0));
+        let b = e.next_batch(2_100).expect("ready");
+        e.complete_batch(b, Err(SessionError::Transient), 2_200);
+        let b = e.next_batch(2_300).expect("retry");
+        e.complete_batch(b, Ok(()), 2_500);
+        let spans = e.spans();
+        validate_forest(spans).expect("well-nested");
+        // Stages: admission, queue, exec, retry_wait, exec + 1 root.
+        assert_eq!(spans.len(), 6);
+        let root = spans.iter().find(|s| s.parent_id == 0).expect("root");
+        assert_eq!(root.name, "request");
+        assert_eq!(root.class, "m/fp16");
+        assert_eq!((root.start, root.end), (0, 2_500));
+        let cp = critical_path(spans);
+        assert_eq!(cp.len(), 1);
+        assert_eq!(cp[0].attributed(), cp[0].total);
+        assert_eq!(cp[0].unattributed, 0);
+        // Queue wait (0 → 2100) dominates; exec contributed 100 + 200.
+        assert_eq!(cp[0].dominant().map(|(n, _)| n), Some("queue"));
+        let exec = cp[0].stages.iter().find(|(n, _)| *n == "exec").map(|(_, d)| *d);
+        assert_eq!(exec, Some(300));
+        let retry = cp[0].stages.iter().find(|(n, _)| *n == "retry_wait").map(|(_, d)| *d);
+        assert_eq!(retry, Some(100));
+    }
+
+    #[test]
+    fn spans_off_means_no_span_storage() {
+        let mut e = ServeEngine::new(ServeConfig::default(), table());
+        let r = req(&mut e, 0, 10_000);
+        assert!(e.submit(r, 0));
+        let b = e.next_batch(2_100).expect("ready");
+        e.complete_batch(b, Ok(()), 2_400);
+        assert!(e.spans().is_empty());
+        assert!(e.take_spans().is_none());
+    }
+
+    #[test]
+    fn slo_monitors_fire_on_sustained_exec_failures_only() {
+        use rapid_telemetry::slo::SloConfig;
+        let slo = SloPolicy {
+            deadline: SloConfig { min_events: 8, ..SloConfig::deadline_default() },
+            shed: SloConfig::shed_default(),
+        };
+        let cfg = ServeConfig {
+            retry_max: 0,
+            breaker: None,
+            admission: false,
+            batch_window_us: 0,
+            slo: Some(slo),
+            ..ServeConfig::default()
+        };
+        let mut e = ServeEngine::new(cfg, table());
+        // Sustained failures: every batch errors until retries exhaust.
+        for i in 0..64u64 {
+            let now = i * 200;
+            let r = req(&mut e, now, now + 1_000_000);
+            assert!(e.submit(r, now));
+            let b = e.next_batch(now + 1).expect("ready");
+            e.complete_batch(b, Err(SessionError::Transient), now + 2);
+        }
+        let report = e.slo_report();
+        let deadline = report.rule("deadline").expect("deadline rule");
+        assert!(!deadline.alerts.is_empty(), "100% failure must burn the budget");
+        assert_eq!(deadline.bad, 64);
+        assert_eq!(
+            e.registry().counter("serve.slo.deadline.alerts"),
+            deadline.alerts.len() as u64
+        );
+        // The shed rule saw only good traffic.
+        let shed = report.rule("shed").expect("shed rule");
+        assert!(shed.alerts.is_empty());
+        assert_eq!(shed.bad, 0);
+    }
+
+    #[test]
+    fn slo_none_disables_monitoring() {
+        let cfg = ServeConfig { slo: None, ..ServeConfig::default() };
+        let mut e = ServeEngine::new(cfg, table());
+        let r = req(&mut e, 0, 10_000);
+        assert!(e.submit(r, 0));
+        assert!(e.slo_report().rules.is_empty());
     }
 
     #[test]

@@ -31,6 +31,14 @@
 //! Two invariants hold by construction and are chaos-tested: every
 //! submitted request gets exactly one terminal outcome (conservation),
 //! and no completion is ever delivered past its deadline.
+//!
+//! Observability rides the same state machine: with
+//! [`engine::ServeConfig::record_spans`] the engine records a
+//! deterministic span per request stage (admission → queue → exec →
+//! retry) feeding the critical-path extractor, and
+//! [`engine::ServeConfig::slo`] attaches multi-window burn-rate SLO
+//! monitors to the terminal-outcome path. Both are observers only —
+//! results stay bit-identical with them on or off (proptested).
 
 // unwrap/expect denial comes from [workspace.lints] in the root manifest.
 #![warn(missing_docs)]
@@ -44,11 +52,11 @@ pub mod shed;
 pub mod sweep;
 
 pub use breaker::{Admit, BreakerConfig, BreakerState, CircuitBreaker};
-pub use engine::{BatchLogEntry, ServeConfig, ServeEngine};
+pub use engine::{BatchLogEntry, ServeConfig, ServeEngine, SloPolicy};
 pub use request::{
     Batch, Outcome, QosClass, RejectReason, Request, RequestId, Response, Tier, TimeoutStage,
 };
-pub use server::Server;
+pub use server::{Server, ServerHandle, ServerReport};
 pub use session::{EmulatedSession, InferenceSession, OkSession, SessionError, SessionReport};
 pub use shed::{ShedConfig, ShedController};
 pub use sweep::{run_open_loop, synthetic_table, OfferedLoad, SweepResult};

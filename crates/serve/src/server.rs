@@ -17,7 +17,9 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use rapid_model::LatencyTable;
-use rapid_telemetry::{MetricsRegistry, ServeCounters};
+use rapid_telemetry::slo::SloReport;
+use rapid_telemetry::span::SpanRecord;
+use rapid_telemetry::{openmetrics, MetricsRegistry, ServeCounters};
 
 use crate::engine::{ServeConfig, ServeEngine};
 use crate::request::{QosClass, Request, RequestId, Response, Tier};
@@ -98,6 +100,18 @@ pub struct ServerReport<R> {
     pub responses: Vec<Response>,
     /// The engine's full metrics registry.
     pub registry: MetricsRegistry,
+    /// Request spans (when [`ServeConfig::record_spans`]).
+    pub spans: Vec<SpanRecord>,
+    /// Burn-rate rule outcomes over the wall-clock-µs virtual clock.
+    pub slo: SloReport,
+}
+
+impl<R> ServerReport<R> {
+    /// The final registry as an OpenMetrics text snapshot, with the
+    /// given shared labels — scrape-able output for the threaded server.
+    pub fn openmetrics(&self, labels: &[(&str, &str)]) -> String {
+        openmetrics::render_labeled(&self.registry, labels)
+    }
 }
 
 /// The threaded serving runtime. Stateless — [`Server::run`] owns the
@@ -156,7 +170,8 @@ impl Server {
                     if !hard_stopped && Instant::now() >= deadline {
                         // Drain window closed: abort queued/retrying work
                         // (workers still complete their in-flight batch).
-                        st.engine.abort_remaining();
+                        let now = epoch.elapsed().as_micros() as u64;
+                        st.engine.abort_remaining(now);
                         st.hard_stop = true;
                         hard_stopped = true;
                     }
@@ -175,7 +190,9 @@ impl Server {
         let mut registry = MetricsRegistry::new();
         registry.merge(st.engine.registry());
         let responses = st.engine.take_responses();
-        ServerReport { result, counters, responses, registry }
+        let slo = st.engine.slo_report();
+        let spans = st.engine.take_spans().map(|s| s.spans().to_vec()).unwrap_or_default();
+        ServerReport { result, counters, responses, registry, spans, slo }
     }
 }
 
@@ -243,6 +260,29 @@ mod tests {
         assert_eq!(report.counters.deadline_violations, 0);
         assert!(report.counters.completed > 0, "some requests completed");
         assert_eq!(report.responses.len(), 50);
+    }
+
+    #[test]
+    fn threaded_server_emits_spans_and_scrape_snapshot() {
+        use rapid_telemetry::span::validate_forest;
+        let table = synthetic_table(&["m"], 100.0, 50.0);
+        let cfg = ServeConfig {
+            workers: 2,
+            batch_window_us: 500,
+            drain_timeout_us: 2_000_000,
+            record_spans: true,
+            ..ServeConfig::hardened()
+        };
+        let report = Server::run(cfg, table, &OkSession, |h| {
+            for _ in 0..10 {
+                h.submit("m", Tier::Fp16, QosClass::Standard, 1_000_000);
+            }
+        });
+        assert!(!report.spans.is_empty());
+        validate_forest(&report.spans).expect("well-nested");
+        let text = report.openmetrics(&[("job", "rapid_serve")]);
+        let doc = rapid_telemetry::openmetrics::validate(&text).expect("valid snapshot");
+        assert_eq!(doc.counter("serve_submitted"), Some(10.0));
     }
 
     #[test]

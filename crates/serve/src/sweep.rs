@@ -16,10 +16,12 @@
 use rapid_arch::precision::Precision;
 use rapid_fault::{derive_stream_seed, XorShift64};
 use rapid_model::{LatencyEntry, LatencyTable};
+use rapid_telemetry::slo::SloReport;
+use rapid_telemetry::span::SpanRecord;
 use rapid_telemetry::{MetricsRegistry, ServeCounters};
 
 use crate::engine::{BatchLogEntry, ServeConfig, ServeEngine};
-use crate::request::{Batch, Outcome, QosClass, Request, Response, Tier};
+use crate::request::{Batch, QosClass, Request, Response, Tier};
 use crate::session::{InferenceSession, SessionError};
 
 /// Builds a synthetic latency table for sweeps and tests: every model
@@ -90,6 +92,11 @@ pub struct SweepResult {
     pub responses: Vec<Response>,
     /// Batch compositions (when [`ServeConfig::record_batches`]).
     pub batch_log: Vec<BatchLogEntry>,
+    /// Request spans (when [`ServeConfig::record_spans`]).
+    pub spans: Vec<SpanRecord>,
+    /// Burn-rate rule outcomes (empty rules when [`ServeConfig::slo`]
+    /// is `None`).
+    pub slo: SloReport,
 }
 
 /// Exponential inter-arrival draw, microseconds, ≥ 1.
@@ -203,7 +210,7 @@ pub fn run_open_loop(
             for f in std::mem::take(&mut inflight) {
                 engine.complete_batch(f.batch, f.result, hard_stop);
             }
-            engine.abort_remaining();
+            engine.abort_remaining(hard_stop);
             break;
         }
         let mut next = next_tick;
@@ -217,35 +224,34 @@ pub fn run_open_loop(
     }
 
     let counters = engine.counters();
-    let mut latencies: Vec<u64> = engine
-        .responses()
-        .iter()
-        .filter_map(|r| match &r.outcome {
-            Outcome::Completed { latency_us, .. } => Some(*latency_us),
-            _ => None,
-        })
-        .collect();
-    latencies.sort_unstable();
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
-        latencies[idx.min(latencies.len() - 1)] as f64 / 1_000.0
+    // Percentiles come straight off the engine's streaming latency
+    // histogram (sub-bucket interpolated) — no sorted-vector second
+    // bookkeeping of the same distribution.
+    let pct = |q: f64| -> f64 {
+        engine
+            .registry()
+            .histogram("serve.latency_us")
+            .map(|h| h.quantile(q) / 1_000.0)
+            .unwrap_or(0.0)
     };
+    let (p50_ms, p99_ms) = (pct(0.50), pct(0.99));
     let goodput_qps = counters.completed as f64 / (load.duration_us as f64 / 1e6);
     let mut registry = MetricsRegistry::new();
     registry.merge(engine.registry());
     let batch_log = engine.batch_log().to_vec();
+    let slo = engine.slo_report();
+    let spans = engine.take_spans().map(|s| s.spans().to_vec()).unwrap_or_default();
     SweepResult {
         offered_qps: load.qps,
         counters,
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
+        p50_ms,
+        p99_ms,
         goodput_qps,
         registry,
         responses: engine.take_responses(),
         batch_log,
+        spans,
+        slo,
     }
 }
 
@@ -292,6 +298,27 @@ mod tests {
         assert_eq!(r1.counters, r2.counters);
         assert_eq!(r1.batch_log, r2.batch_log);
         assert_eq!(r1.responses, r2.responses);
+    }
+
+    #[test]
+    fn clean_underload_cell_has_wellnested_spans_and_no_alerts() {
+        use rapid_telemetry::span::{critical_path, validate_forest};
+        let table = synthetic_table(&["m"], 100.0, 50.0);
+        let cfg = ServeConfig { record_spans: true, ..ServeConfig::hardened() };
+        let r = run_open_loop(&cfg, &table, &load(2_000.0), &OkSession);
+        assert_eq!(r.slo.total_alerts(), 0, "fault-free underload must not page");
+        assert!(!r.spans.is_empty());
+        validate_forest(&r.spans).expect("well-nested");
+        for cp in critical_path(&r.spans) {
+            let gap = cp.total.abs_diff(cp.attributed());
+            assert!(
+                gap * 100 <= cp.total,
+                "class {} attribution off by more than 1%: {} of {}",
+                cp.class,
+                gap,
+                cp.total
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,16 @@
 //!   (Perfetto-viewable), with [`SpanCoalescer`] to turn per-cycle phase
 //!   labels into spans. Gated at the binary level by `RAPID_TRACE=<path>`
 //!   ([`TRACE_ENV`]).
+//! - [`span`] — request-scoped distributed tracing: deterministic span
+//!   contexts, a bounded [`SpanSink`], a per-class critical-path
+//!   extractor, and Chrome-trace export so request spans and cycle
+//!   tracks land in one Perfetto timeline.
+//! - [`slo`] — streaming SLO monitoring with multi-window burn-rate
+//!   rules over a virtual clock; [`Histogram::quantile`] supplies the
+//!   sub-bucket-interpolated percentiles.
+//! - [`openmetrics`] — OpenMetrics text exposition of registry
+//!   snapshots plus a strict validating parser, gated at the binary
+//!   level by `RAPID_METRICS=<path>` ([`METRICS_ENV`]).
 //! - [`schema`] — the `rapid-bench-v1` record and aggregate validators
 //!   used by `--json` bench output and `scripts/check.sh --telemetry`.
 //! - [`Json`] — a minimal hand-rolled JSON value/renderer/parser (the
@@ -28,19 +38,29 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod openmetrics;
 pub mod registry;
 pub mod schema;
 pub mod serve;
+pub mod slo;
+pub mod span;
 pub mod trace;
 
 pub use json::{Json, JsonError};
+pub use openmetrics::{metrics_path_from_env, validate as validate_openmetrics, METRICS_ENV};
 pub use registry::{Histogram, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};
 pub use schema::{validate_aggregate, validate_bench_record, AGGREGATE_SCHEMA, BENCH_SCHEMA};
 pub use serve::ServeCounters;
+pub use slo::{BurnAlert, SloConfig, SloMonitor, SloReport, SloRuleReport};
+pub use span::{
+    critical_path, derive_trace_id, spans_to_trace, validate_forest, SpanContext, SpanRecord,
+    SpanSink,
+};
 pub use trace::{trace_path_from_env, Phase, SpanCoalescer, TraceEvent, TraceSink, TRACE_ENV};
 
 /// The telemetry bundle a producer writes into: always a registry, plus a
-/// trace sink when cycle-level tracing was requested.
+/// trace sink when cycle-level tracing was requested and a span sink when
+/// request-scoped tracing is on.
 ///
 /// Pass as `Option<&mut Telemetry>`; `None` disables all instrumentation
 /// at zero cost.
@@ -50,6 +70,8 @@ pub struct Telemetry {
     pub registry: MetricsRegistry,
     /// Cycle-level event sink, when tracing is on.
     pub trace: Option<TraceSink>,
+    /// Request/exchange span sink, when span recording is on.
+    pub spans: Option<SpanSink>,
 }
 
 impl Telemetry {
@@ -60,7 +82,12 @@ impl Telemetry {
 
     /// Counters plus a default-capacity trace sink.
     pub fn with_trace() -> Self {
-        Self { registry: MetricsRegistry::new(), trace: Some(TraceSink::new()) }
+        Self { registry: MetricsRegistry::new(), trace: Some(TraceSink::new()), spans: None }
+    }
+
+    /// Counters plus a default-capacity span sink.
+    pub fn with_spans() -> Self {
+        Self { registry: MetricsRegistry::new(), trace: None, spans: Some(SpanSink::new()) }
     }
 
     /// Builds from the environment: tracing is enabled iff `RAPID_TRACE`
@@ -79,13 +106,20 @@ impl Telemetry {
     }
 
     /// Folds `other` into this bundle: registries merge, trace events
-    /// append (both must share a time base).
+    /// append, spans append with disjoint ids (all must share a time
+    /// base).
     pub fn merge(&mut self, other: Telemetry) {
         self.registry.merge(&other.registry);
         if let Some(t) = other.trace {
             match &mut self.trace {
                 Some(mine) => mine.merge(t),
                 None => self.trace = Some(t),
+            }
+        }
+        if let Some(s) = other.spans {
+            match &mut self.spans {
+                Some(mine) => mine.merge(s),
+                None => self.spans = Some(s),
             }
         }
     }

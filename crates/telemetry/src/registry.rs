@@ -46,6 +46,37 @@ impl Histogram {
         self.buckets[bucket.min(HISTOGRAM_BUCKETS - 1)] += 1;
     }
 
+    /// Streaming quantile estimate with sub-bucket linear interpolation:
+    /// the sample at rank `q * (count - 1)` is located in its power-of-two
+    /// bucket, positioned within the bucket by midpoint-rank interpolation,
+    /// and clamped to the observed `[min, max]` so estimates never escape
+    /// the data. Exact for single-sample histograms; within one bucket
+    /// width (≤ 2×) otherwise. `q` is clamped to `[0, 1]`; returns 0.0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * (self.count - 1) as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let first_rank = seen as f64;
+            seen += c;
+            if rank < seen as f64 || seen == self.count {
+                let lo = if i == 0 { 0.0 } else { (1u128 << i) as f64 };
+                let hi = ((1u128 << (i + 1)) as f64) - 1.0;
+                let frac = ((rank - first_rank + 0.5) / c as f64).clamp(0.0, 1.0);
+                let est = lo + (hi - lo) * frac;
+                return est.clamp(self.min as f64, self.max as f64);
+            }
+        }
+        self.max as f64
+    }
+
     /// Arithmetic mean (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -254,6 +285,36 @@ mod tests {
         assert_eq!(h.buckets[1], 2); // 2 and 3
         assert_eq!(h.buckets[10], 1); // 1024
         assert_eq!(h.mean(), 206.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_and_clamp() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        h.observe(100);
+        assert_eq!(h.quantile(0.0), 100.0); // single sample is exact
+        assert_eq!(h.quantile(0.5), 100.0);
+        assert_eq!(h.quantile(1.0), 100.0);
+
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // Estimates stay within one power-of-two bucket of the truth and
+        // inside [min, max].
+        let p50 = h.quantile(0.5);
+        assert!((250.0..=1000.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((500.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(0.0) >= 1.0);
+        assert!(h.quantile(1.0) <= 1000.0);
+        // Monotone in q.
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let v = h.quantile(i as f64 / 20.0);
+            assert!(v >= prev, "quantiles not monotone at {i}");
+            prev = v;
+        }
     }
 
     #[test]

@@ -31,10 +31,19 @@
 #                                 hangs, and ≤2-point accuracy loss) with
 #                                 --json, and schema validation of its
 #                                 record
+#   scripts/check.sh --obs        observability gate only: clippy on the
+#                                 telemetry/serve/bench crates, the
+#                                 observability proptests (bit-invisible
+#                                 telemetry, well-nested spans, OpenMetrics
+#                                 round-trip), a timed obs_sweep smoke with
+#                                 --json + RAPID_TRACE + RAPID_METRICS,
+#                                 schema validation of its record, and
+#                                 strict OpenMetrics validation of the
+#                                 dumped snapshot
 #   scripts/check.sh --all        every named gate in sequence (recovery,
 #                                 telemetry, protection, simd, serve,
-#                                 elastic) without the full build/test/
-#                                 clippy preamble
+#                                 elastic, obs) without the full build/
+#                                 test/clippy preamble
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -167,6 +176,36 @@ elastic_gate() {
         || { echo "record is missing recover.elastic.crashes_survived"; exit 1; }
 }
 
+obs_gate() {
+    echo "== cargo clippy on the observability-touched crates (deny warnings) =="
+    cargo clippy -p rapid-telemetry -p rapid-serve -p rapid-bench --all-targets -- -D warnings
+    echo "== observability proptests (bit-invisibility, span forest, OM round-trip) =="
+    cargo test --release -p rapid --test observability -q
+    echo "== obs_sweep --smoke --json + RAPID_TRACE + RAPID_METRICS (hard 120s timeout) =="
+    cargo build --release -p rapid-bench --bin obs_sweep --bin telemetry_report
+    local out="target/obs-gate"
+    rm -rf "$out" && mkdir -p "$out"
+    timeout 120 env RAPID_TRACE="$out/trace.json" RAPID_METRICS="$out/metrics.om" \
+        ./target/release/obs_sweep --smoke --json "$out/obs_sweep.json"
+    test -s "$out/trace.json" || { echo "missing merged trace output"; exit 1; }
+    grep -q '"traceEvents"' "$out/trace.json" || { echo "trace is not Chrome-trace JSON"; exit 1; }
+    echo "== telemetry_report --validate on the emitted record =="
+    # Wrap the single bench record as a one-element aggregate and validate
+    # both layers of the schema with the repo's own validator.
+    printf '{"schema":"rapid-bench-aggregate-v1","records":[%s]}' \
+        "$(cat "$out/obs_sweep.json")" > "$out/aggregate.json"
+    ./target/release/telemetry_report "$out/aggregate.json" --validate
+    echo "== telemetry_report --validate-openmetrics on the dumped snapshot =="
+    test -s "$out/metrics.om" || { echo "missing OpenMetrics snapshot"; exit 1; }
+    ./target/release/telemetry_report --validate-openmetrics "$out/metrics.om"
+    # The observability contracts, straight off the record: burn-rate
+    # alerts fired under chaos and overload, never in the fault-free cell.
+    grep -q '"clean.slo.deadline.alerts":0' "$out/obs_sweep.json" \
+        || { echo "record is missing clean.slo.deadline.alerts == 0"; exit 1; }
+    grep -q '"clean.slo.shed.alerts":0' "$out/obs_sweep.json" \
+        || { echo "record is missing clean.slo.shed.alerts == 0"; exit 1; }
+}
+
 if [[ "${1:-}" == "--simd" ]]; then
     simd_gate
     echo "SIMD checks passed."
@@ -185,6 +224,12 @@ if [[ "${1:-}" == "--elastic" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--obs" ]]; then
+    obs_gate
+    echo "Observability checks passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "--all" ]]; then
     recovery_gate
     telemetry_gate
@@ -192,6 +237,7 @@ if [[ "${1:-}" == "--all" ]]; then
     simd_gate
     serve_gate
     elastic_gate
+    obs_gate
     echo "All named gates passed."
     exit 0
 fi
@@ -214,5 +260,6 @@ protection_gate
 simd_gate
 serve_gate
 elastic_gate
+obs_gate
 
 echo "All checks passed."

@@ -1,0 +1,168 @@
+//! Observability suite: the three invariants of DESIGN.md §12, chaos- and
+//! property-tested through the `rapid` facade.
+//!
+//! - **Bit-invisibility**: telemetry (request spans + burn-rate SLO
+//!   monitoring) is purely observational — the same seed and offered load
+//!   reproduce bit-identical counters, batch compositions, and terminal
+//!   responses whether instrumentation is fully off or fully on;
+//! - **Well-nested spans**: every emitted span set forms a well-nested
+//!   forest (children inside parents, no orphans, no id reuse) and the
+//!   per-class critical-path attribution accounts for ≥ 99% of root
+//!   latency;
+//! - **Exposition round-trip**: OpenMetrics text rendered from an
+//!   arbitrary registry snapshot passes the strict validator and parses
+//!   back to the same counter / gauge / histogram values.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)] // tests panic on failure by design
+
+use proptest::prelude::*;
+use rapid::serve::{
+    run_open_loop, synthetic_table, OfferedLoad, OkSession, ServeConfig, SloPolicy, Tier,
+};
+use rapid::telemetry::{
+    critical_path, validate_forest, validate_openmetrics, MetricsRegistry,
+};
+
+/// The three presets the sweeps compare, picked by index so proptest can
+/// range over them.
+fn preset(idx: u8) -> ServeConfig {
+    match idx % 3 {
+        0 => ServeConfig::hardened(),
+        1 => ServeConfig::admission_only(),
+        _ => ServeConfig::naive(),
+    }
+}
+
+/// A load mixing both models and QoS classes across under- and overload.
+fn load(qps: f64, seed: u64, budget: u64) -> OfferedLoad {
+    OfferedLoad {
+        qps,
+        duration_us: 40_000,
+        seed,
+        deadline_budget_us: budget,
+        critical_fraction: 0.2,
+        models: vec!["a".into(), "b".into()],
+        tier: Tier::Fp16,
+    }
+}
+
+proptest! {
+    /// Turning every observer on (spans + both burn-rate rules) leaves
+    /// the serving results bit-identical to the fully dark run: same
+    /// counters, same batch compositions, same terminal responses.
+    #[test]
+    fn telemetry_is_bit_invisible(
+        qps in 500.0f64..40_000.0,
+        seed in 1u64..1_000_000,
+        budget in 5_000u64..40_000,
+        cfg_idx in 0u8..3,
+    ) {
+        let table = synthetic_table(&["a", "b"], 150.0, 60.0);
+        let l = load(qps, seed, budget);
+        let dark = ServeConfig {
+            record_batches: true,
+            record_spans: false,
+            slo: None,
+            ..preset(cfg_idx)
+        };
+        let lit = ServeConfig {
+            record_batches: true,
+            record_spans: true,
+            span_seed: seed,
+            slo: Some(SloPolicy::default()),
+            ..preset(cfg_idx)
+        };
+        let r_dark = run_open_loop(&dark, &table, &l, &OkSession);
+        let r_lit = run_open_loop(&lit, &table, &l, &OkSession);
+        prop_assert_eq!(&r_dark.counters, &r_lit.counters);
+        prop_assert_eq!(&r_dark.batch_log, &r_lit.batch_log);
+        prop_assert_eq!(&r_dark.responses, &r_lit.responses);
+        // The dark run really was dark; the lit one really observed.
+        prop_assert!(r_dark.spans.is_empty());
+        prop_assert!(r_dark.slo.rules.is_empty());
+        if r_lit.counters.submitted > 0 {
+            prop_assert!(!r_lit.spans.is_empty());
+        }
+    }
+
+    /// Emitted spans always form a well-nested forest, and the per-class
+    /// critical path attributes at least 99% of total root latency to
+    /// named stages (the E23 attribution bar).
+    #[test]
+    fn spans_form_a_wellnested_forest_with_tight_attribution(
+        qps in 500.0f64..60_000.0,
+        seed in 1u64..1_000_000,
+        budget in 5_000u64..40_000,
+        cfg_idx in 0u8..3,
+    ) {
+        let table = synthetic_table(&["a", "b"], 150.0, 60.0);
+        let cfg = ServeConfig {
+            record_spans: true,
+            span_seed: seed,
+            ..preset(cfg_idx)
+        };
+        let r = run_open_loop(&cfg, &table, &load(qps, seed, budget), &OkSession);
+        if let Err(e) = validate_forest(&r.spans) {
+            panic!("span forest invalid: {e}");
+        }
+        for cp in critical_path(&r.spans) {
+            let gap = cp.total - cp.attributed();
+            prop_assert!(
+                gap * 100 <= cp.total,
+                "class {} attribution gap {} exceeds 1% of total {}",
+                cp.class, gap, cp.total
+            );
+        }
+    }
+
+    /// OpenMetrics exposition round-trips: any registry snapshot renders
+    /// to text the strict validator accepts, and the parsed document
+    /// carries the same counter / gauge / histogram values back.
+    #[test]
+    fn openmetrics_renders_and_parses_back(
+        entries in proptest::collection::vec((0u8..3, 0u64..9_007_199_254_740_992), 1..24),
+        label_idx in 0usize..6,
+    ) {
+        const LABELS: [&str; 6] = ["clean", "chaos", "overload", "a-b", "cell_7", "x"];
+        let label = LABELS[label_idx];
+        let mut reg = MetricsRegistry::new();
+        for (i, (kind, v)) in entries.iter().enumerate() {
+            match kind % 3 {
+                // Index in the name keeps generated families collision-free.
+                0 => reg.add(&format!("m{i}.count"), *v),
+                1 => reg.set_gauge(&format!("m{i}.gauge"), *v as f64),
+                _ => reg.observe(&format!("m{i}.lat"), *v),
+            }
+        }
+        let text = rapid::telemetry::openmetrics::render_labeled(
+            &reg,
+            &[("experiment", "obs_proptest"), ("cell", label)],
+        );
+        let doc = match validate_openmetrics(&text) {
+            Ok(doc) => doc,
+            Err(e) => panic!("render rejected by the strict validator: {e}"),
+        };
+        prop_assert_eq!(doc.families.len(), reg.len());
+        for (i, (kind, v)) in entries.iter().enumerate() {
+            match kind % 3 {
+                0 => prop_assert_eq!(doc.counter(&format!("m{i}_count")), Some(*v as f64)),
+                1 => prop_assert_eq!(doc.gauge(&format!("m{i}_gauge")), Some(*v as f64)),
+                _ => {
+                    prop_assert_eq!(
+                        doc.histogram(&format!("m{i}_lat")),
+                        Some((1.0, *v as f64))
+                    );
+                }
+            }
+        }
+        // Every sample carries the shared labels in emission order.
+        for f in &doc.families {
+            for s in &f.samples {
+                prop_assert_eq!(s.labels[0].0.as_str(), "experiment");
+                prop_assert_eq!(s.labels[0].1.as_str(), "obs_proptest");
+                prop_assert_eq!(s.labels[1].0.as_str(), "cell");
+                prop_assert_eq!(s.labels[1].1.as_str(), label);
+            }
+        }
+    }
+}
