@@ -64,6 +64,7 @@ fn main() -> ExitCode {
         "serving_sweep",
         "elastic_sweep",
         "obs_sweep",
+        "health_sweep",
     ];
     // Snapshot the previous run's kernel speedups before the aggregate
     // is overwritten; they are the regression-gate baseline.

@@ -238,6 +238,53 @@ fn main() -> ExitCode {
         }
     }
 
+    // Core health: any record carrying the health.* probe/quarantine
+    // counters gets its mercurial-core story summarized.
+    let health: Vec<&Json> = records
+        .iter()
+        .filter(|r| {
+            r.get("metrics")
+                .and_then(Json::as_obj)
+                .is_some_and(|m| m.iter().any(|(k, _)| k.starts_with("health.probe.")))
+        })
+        .collect();
+    if !health.is_empty() {
+        println!("\ncore health (probes & quarantine):");
+        let counters = [
+            ("health.probe.cycles", "probe cycles"),
+            ("health.probe.runs", "probes run"),
+            ("health.probe.failures", "probe failures"),
+            ("health.quarantines", "cores quarantined"),
+            ("health.reinstatements", "cores reinstated"),
+            ("health.slo.quarantine.alerts", "quarantine SLO alerts"),
+            ("serve.integrity_retries", "integrity retries"),
+            ("serve.silent_wrong", "silent-wrong responses"),
+        ];
+        for r in health {
+            let name = r.get("experiment").and_then(Json::as_str).unwrap_or("?");
+            let metric = |k: &str| {
+                r.get("metrics").and_then(|m| m.get(k)).and_then(Json::as_f64).unwrap_or(0.0)
+            };
+            println!("  {name}:");
+            for (key, label) in counters {
+                println!("    {label:<24} {:>10.0}", metric(key));
+            }
+            let latency = metric("detect.mean_latency_us");
+            if latency > 0.0 {
+                println!("    {:<24} {latency:>8.0}us", "mean detection latency");
+            }
+            let retention = metric("serve.goodput_retention");
+            if retention > 0.0 {
+                println!(
+                    "    {:<24} {:>9.1}% (floor {:.1}%)",
+                    "goodput retention",
+                    retention * 100.0,
+                    metric("serve.retention_floor") * 100.0
+                );
+            }
+        }
+    }
+
     // Perf trajectory against the rotated previous aggregate, when the
     // rotation (repro_all) has left one next to this file.
     let prev_path = std::path::Path::new(&path).with_extension("prev.json");

@@ -160,6 +160,18 @@ pub struct FaultConfig {
     /// mantissa). Exponent upsets are the ones that produce non-finite
     /// values; mantissa upsets are silent precision loss.
     pub exponent_share: f64,
+    /// Probability (per MAC site) that a *mercurial-core* fault burst
+    /// begins — the Gilbert–Elliott good→bad transition. While a burst is
+    /// active, MAC operands/codes flip at [`FaultConfig::mac_burst_flip_rate`]
+    /// instead of the uniform background rate, so an intermittently bad
+    /// core is distinguishable from uniform noise. The burst chain draws
+    /// from its own stream; enabling it never shifts the other domains.
+    pub mac_burst_rate: f64,
+    /// Mean burst length in MAC sites (the bad→good transition fires with
+    /// probability `1 / mac_burst_len` per site). Clamped to ≥ 1.
+    pub mac_burst_len: u32,
+    /// Per-site flip probability while a burst is active.
+    pub mac_burst_flip_rate: f64,
     /// Probability a delivered data flit is dropped (the source
     /// retransmits it — the link-level retry the ring protocol assumes).
     pub ring_drop_rate: f64,
@@ -229,6 +241,9 @@ impl Default for FaultConfig {
             mac_operand_rate: 0.0,
             mac_acc_rate: 0.0,
             exponent_share: 0.3,
+            mac_burst_rate: 0.0,
+            mac_burst_len: 64,
+            mac_burst_flip_rate: 0.5,
             ring_drop_rate: 0.0,
             ring_dup_rate: 0.0,
             ring_delay_rate: 0.0,
@@ -264,6 +279,7 @@ impl FaultConfig {
     pub fn enabled(&self) -> bool {
         self.mac_operand_rate > 0.0
             || self.mac_acc_rate > 0.0
+            || self.mac_burst_rate > 0.0
             || self.ring_drop_rate > 0.0
             || self.ring_dup_rate > 0.0
             || self.ring_delay_rate > 0.0
@@ -326,6 +342,11 @@ pub enum NodeFault {
 pub enum FaultEvent {
     /// A float MAC operand bit flip: `(site index, bit, before, after)`.
     MacOperandFlip(u64, u32, u32, u32),
+    /// A Gilbert–Elliott fault burst began at MAC site `site`.
+    MacBurstStart(u64),
+    /// A burst-mode MAC flip: `(site index, bit, before bits, after bits)`.
+    /// For integer codes the before/after are the zero-extended code bytes.
+    MacBurstFlip(u64, u32, u32, u32),
     /// A float accumulator bit flip: `(site index, bit, before, after)`.
     MacAccFlip(u64, u32, u32, u32),
     /// An integer code bit flip: `(site index, bit, before, after)`.
@@ -355,6 +376,10 @@ pub struct FaultCounts {
     pub mac_operand_flips: u64,
     /// Float accumulator bit flips injected.
     pub mac_acc_flips: u64,
+    /// Gilbert–Elliott fault bursts entered.
+    pub mac_bursts: u64,
+    /// Burst-mode operand/code bit flips injected.
+    pub mac_burst_flips: u64,
     /// Integer code bit flips injected.
     pub int_code_flips: u64,
     /// INT16 chunk-register bit flips injected.
@@ -387,6 +412,8 @@ impl FaultCounts {
     pub fn record_into(&self, reg: &mut rapid_telemetry::MetricsRegistry, prefix: &str) {
         reg.add(&format!("{prefix}.mac_operand_flips"), self.mac_operand_flips);
         reg.add(&format!("{prefix}.mac_acc_flips"), self.mac_acc_flips);
+        reg.add(&format!("{prefix}.mac_bursts"), self.mac_bursts);
+        reg.add(&format!("{prefix}.mac_burst_flips"), self.mac_burst_flips);
         reg.add(&format!("{prefix}.int_code_flips"), self.int_code_flips);
         reg.add(&format!("{prefix}.int_chunk_flips"), self.int_chunk_flips);
         reg.add(&format!("{prefix}.ring_drops"), self.ring_drops);
@@ -406,9 +433,11 @@ impl fmt::Display for FaultCounts {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "flips: {} operand / {} acc / {} code / {} chunk; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips; {} serve transients; nodes: {} crashed, {} hung, {} slowed",
+            "flips: {} operand / {} acc / {} code / {} chunk; bursts: {} entered, {} flips; ring: {} dropped, {} duplicated, {} held, {} corrupted; {} seq stalls; {} spad flips; {} serve transients; nodes: {} crashed, {} hung, {} slowed",
             self.mac_operand_flips,
             self.mac_acc_flips,
+            self.mac_bursts,
+            self.mac_burst_flips,
             self.int_code_flips,
             self.int_chunk_flips,
             self.ring_drops,
@@ -435,6 +464,8 @@ impl fmt::Display for FaultCounts {
 pub struct FaultPlan {
     cfg: FaultConfig,
     mac_rng: XorShift64,
+    burst_rng: XorShift64,
+    in_burst: bool,
     ring_rng: XorShift64,
     seq_rng: XorShift64,
     mem_rng: XorShift64,
@@ -453,12 +484,14 @@ pub struct FaultPlan {
 
 impl FaultPlan {
     /// Builds a plan. Domain streams are derived from the master seed via
-    /// [`derive_stream_seed`] with fixed ASCII tags ("MAC", "RING", "SEQ",
-    /// "MEM", "SRVE", "NODE") so the domains are decoupled.
+    /// [`derive_stream_seed`] with fixed ASCII tags ("MAC", "BRST", "RING",
+    /// "SEQ", "MEM", "SRVE", "NODE") so the domains are decoupled.
     pub fn new(cfg: FaultConfig) -> Self {
         Self {
             cfg,
             mac_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x004D_4143)),
+            burst_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x4252_5354)),
+            in_burst: false,
             ring_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x5249_4E47)),
             seq_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x0053_4551)),
             mem_rng: XorShift64::new(derive_stream_seed(cfg.seed, 0x004D_454D)),
@@ -493,7 +526,19 @@ impl FaultPlan {
 
     /// Whether the MAC (numerics) injectors can fire.
     pub fn mac_enabled(&self) -> bool {
-        self.cfg.mac_operand_rate > 0.0 || self.cfg.mac_acc_rate > 0.0
+        self.cfg.mac_operand_rate > 0.0
+            || self.cfg.mac_acc_rate > 0.0
+            || self.cfg.mac_burst_rate > 0.0
+    }
+
+    /// Whether the Gilbert–Elliott burst injector can fire.
+    pub fn burst_enabled(&self) -> bool {
+        self.cfg.mac_burst_rate > 0.0
+    }
+
+    /// Whether a burst is active right now (probe/diagnosis visibility).
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
     }
 
     /// Whether the ring injectors can fire.
@@ -567,18 +612,51 @@ impl FaultPlan {
         }
     }
 
-    /// Maybe flips one bit of a float MAC operand.
+    /// Steps the Gilbert–Elliott two-state chain for one MAC site and
+    /// draws whether a burst-mode flip fires. Every draw comes from the
+    /// dedicated burst stream, so enabling bursts never shifts the
+    /// uniform-background MAC stream — and a plan with `mac_burst_rate`
+    /// zero takes no draws at all (bit-invisible when disabled).
+    fn burst_flip(&mut self) -> bool {
+        if self.cfg.mac_burst_rate <= 0.0 {
+            return false;
+        }
+        if self.in_burst {
+            let exit = 1.0 / f64::from(self.cfg.mac_burst_len.max(1));
+            if self.burst_rng.chance(exit) {
+                self.in_burst = false;
+            }
+        } else if self.burst_rng.chance(self.cfg.mac_burst_rate) {
+            self.in_burst = true;
+            self.counts.mac_bursts += 1;
+            self.record(FaultEvent::MacBurstStart(self.mac_sites - 1));
+        }
+        self.in_burst && self.burst_rng.chance(self.cfg.mac_burst_flip_rate)
+    }
+
+    /// Maybe flips one bit of a float MAC operand, from the uniform
+    /// background injector or (when a burst is active) the mercurial-core
+    /// burst injector.
     pub fn mac_operand(&mut self, v: f32) -> f32 {
         self.mac_sites += 1;
-        if !self.mac_rng.chance(self.cfg.mac_operand_rate) {
-            return v;
+        let burst = self.burst_flip();
+        if self.mac_rng.chance(self.cfg.mac_operand_rate) {
+            let bit = Self::pick_bit(&mut self.mac_rng, self.cfg.exponent_share, 23, 8);
+            let before = v.to_bits();
+            let after = before ^ (1 << bit);
+            self.counts.mac_operand_flips += 1;
+            self.record(FaultEvent::MacOperandFlip(self.mac_sites - 1, bit, before, after));
+            return f32::from_bits(after);
         }
-        let bit = Self::pick_bit(&mut self.mac_rng, self.cfg.exponent_share, 23, 8);
-        let before = v.to_bits();
-        let after = before ^ (1 << bit);
-        self.counts.mac_operand_flips += 1;
-        self.record(FaultEvent::MacOperandFlip(self.mac_sites - 1, bit, before, after));
-        f32::from_bits(after)
+        if burst {
+            let bit = Self::pick_bit(&mut self.burst_rng, self.cfg.exponent_share, 23, 8);
+            let before = v.to_bits();
+            let after = before ^ (1 << bit);
+            self.counts.mac_burst_flips += 1;
+            self.record(FaultEvent::MacBurstFlip(self.mac_sites - 1, bit, before, after));
+            return f32::from_bits(after);
+        }
+        v
     }
 
     /// Maybe flips one bit of a float chunk accumulator.
@@ -599,15 +677,27 @@ impl FaultPlan {
     /// integer MAC operand.
     pub fn int_code(&mut self, c: i8, bits: u32) -> i8 {
         self.mac_sites += 1;
-        if !self.mac_rng.chance(self.cfg.mac_operand_rate) {
-            return c;
+        let burst = self.burst_flip();
+        if self.mac_rng.chance(self.cfg.mac_operand_rate) {
+            let bit = self.mac_rng.below(bits.max(1));
+            let after = c ^ (1i8 << bit);
+            self.counts.int_code_flips += 1;
+            self.record(FaultEvent::IntCodeFlip(self.mac_sites - 1, bit, c, after));
+            return after;
         }
-        let bit = self.mac_rng.below(bits.max(1));
-        let mask = 1i8 << bit;
-        let after = c ^ mask;
-        self.counts.int_code_flips += 1;
-        self.record(FaultEvent::IntCodeFlip(self.mac_sites - 1, bit, c, after));
-        after
+        if burst {
+            let bit = self.burst_rng.below(bits.max(1));
+            let after = c ^ (1i8 << bit);
+            self.counts.mac_burst_flips += 1;
+            self.record(FaultEvent::MacBurstFlip(
+                self.mac_sites - 1,
+                bit,
+                u32::from(c as u8),
+                u32::from(after as u8),
+            ));
+            return after;
+        }
+        c
     }
 
     /// Maybe flips one bit of an INT16 chunk register.
@@ -1046,6 +1136,98 @@ mod tests {
                 seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag
             );
         }
+    }
+
+    #[test]
+    fn burst_mode_is_deterministic_and_clusters_flips() {
+        let cfg = FaultConfig {
+            seed: 19,
+            mac_burst_rate: 0.002,
+            mac_burst_len: 32,
+            mac_burst_flip_rate: 0.8,
+            ..FaultConfig::default()
+        };
+        assert!(cfg.enabled(), "burst mode alone must count as enabled");
+        assert!(FaultPlan::new(cfg).burst_enabled());
+        assert!(FaultPlan::new(cfg).mac_enabled());
+        let run = |cfg| {
+            let mut plan = FaultPlan::new(cfg);
+            let flips: Vec<bool> =
+                (0..20_000).map(|i| plan.mac_operand(i as f32 + 1.0) != i as f32 + 1.0).collect();
+            (flips, plan.counts())
+        };
+        let (f1, c1) = run(cfg);
+        let (f2, c2) = run(cfg);
+        assert_eq!(f1, f2);
+        assert_eq!(c1, c2);
+        assert!(c1.mac_bursts > 0, "{c1}");
+        assert!(c1.mac_burst_flips > c1.mac_bursts, "{c1}");
+        assert_eq!(c1.mac_operand_flips, 0, "no background injector configured");
+        // Burstiness: flips must cluster. Compare the flip count inside
+        // the densest 64-site window against a uniform spread — a GE
+        // process concentrates flips far beyond the uniform expectation.
+        let total: usize = f1.iter().filter(|&&b| b).count();
+        let max_window: usize = f1
+            .windows(64)
+            .map(|w| w.iter().filter(|&&b| b).count())
+            .max()
+            .unwrap_or(0);
+        let uniform_per_window = total as f64 * 64.0 / f1.len() as f64;
+        assert!(
+            max_window as f64 > 4.0 * uniform_per_window.max(1.0),
+            "flips do not cluster: {max_window} in densest window vs uniform {uniform_per_window:.1}"
+        );
+    }
+
+    #[test]
+    fn burst_stream_leaves_background_mac_stream_bit_aligned() {
+        // Enabling bursts must not move a single background flip: the
+        // burst chain draws only from its own stream.
+        let base = FaultConfig { seed: 23, mac_operand_rate: 0.05, ..FaultConfig::default() };
+        let bursty = FaultConfig {
+            mac_burst_rate: 0.01,
+            mac_burst_len: 16,
+            mac_burst_flip_rate: 1.0,
+            ..base
+        };
+        let background_sites = |cfg| {
+            let mut plan = FaultPlan::new(cfg);
+            for i in 0..5_000 {
+                plan.mac_operand(i as f32);
+            }
+            plan.trace()
+                .iter()
+                .filter_map(|e| match e {
+                    FaultEvent::MacOperandFlip(site, bit, before, after) => {
+                        Some((*site, *bit, *before, *after))
+                    }
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(background_sites(base), background_sites(bursty));
+    }
+
+    #[test]
+    fn burst_mode_hits_int_codes_too() {
+        let cfg = FaultConfig {
+            seed: 29,
+            mac_burst_rate: 0.01,
+            mac_burst_len: 32,
+            mac_burst_flip_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut plan = FaultPlan::new(cfg);
+        let mut flipped = 0;
+        for i in 0..5_000 {
+            let c = (i % 8) as i8;
+            if plan.int_code(c, 4) != c {
+                flipped += 1;
+            }
+        }
+        assert!(flipped > 0);
+        assert_eq!(plan.counts().mac_burst_flips, flipped);
+        assert_eq!(plan.counts().int_code_flips, 0);
     }
 
     #[test]

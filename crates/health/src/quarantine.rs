@@ -1,0 +1,298 @@
+//! The per-core quarantine state machine with hysteresis.
+//!
+//! ```text
+//!            score < suspect_enter
+//!   Healthy ───────────────────────▶ Suspect
+//!      ▲                               │
+//!      │ score ≥ resume_score          │ fail_streak consecutive probe
+//!      │ (hysteresis band)             │ failures, or score <
+//!      │                               │ quarantine_enter
+//!      │                               ▼
+//!   Probation ◀──────────────── Quarantined
+//!      │        min_quarantine_probes cycles served
+//!      │
+//!      ├─ probation_probes consecutive passes → Healthy (reinstated)
+//!      └─ any probation failure → Quarantined (cooldown restarts)
+//! ```
+//!
+//! Two hysteresis mechanisms stop a mercurial core from flapping in and
+//! out of service: the `suspect_enter < resume_score` band (a Suspect
+//! core must climb *above* where it fell in), and the probation gauntlet
+//! (one failed probe during probation sends the core back to the start
+//! of its quarantine cooldown).
+
+use crate::score::{Evidence, HealthScore};
+use crate::HealthConfig;
+
+/// Where a core sits in the quarantine lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreState {
+    /// In service, no recent cause for doubt.
+    #[default]
+    Healthy,
+    /// In service, but accumulating evidence; watched closely.
+    Suspect,
+    /// Out of service; work is remapped around it.
+    Quarantined,
+    /// Out of service, passing probes; must pass `probation_probes`
+    /// consecutively to be reinstated.
+    Probation,
+}
+
+impl CoreState {
+    /// Whether a core in this state receives production work.
+    pub fn in_service(self) -> bool {
+        matches!(self, CoreState::Healthy | CoreState::Suspect)
+    }
+
+    /// Counter-name suffix for `health.state.*`.
+    pub fn label(self) -> &'static str {
+        match self {
+            CoreState::Healthy => "healthy",
+            CoreState::Suspect => "suspect",
+            CoreState::Quarantined => "quarantined",
+            CoreState::Probation => "probation",
+        }
+    }
+}
+
+/// One state transition, recorded for the deterministic event trace.
+///
+/// Scores are carried in integer milli-units so traces compare with `==`
+/// across reruns — no float-tolerance ambiguity in the replay contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthEvent {
+    /// Probe cycle at which the transition fired.
+    pub cycle: u64,
+    /// Core that transitioned.
+    pub core: u32,
+    /// State before the transition.
+    pub from: CoreState,
+    /// State after the transition.
+    pub to: CoreState,
+    /// Health score after the transition, in milli-units (0..=1000).
+    pub score_milli: u32,
+}
+
+/// Tracks one core's score, state, and hysteresis counters.
+#[derive(Debug, Clone)]
+pub struct CoreTracker {
+    core: u32,
+    score: HealthScore,
+    state: CoreState,
+    fail_streak: u32,
+    quarantine_cycles: u32,
+    probation_passes: u32,
+    quarantined_at: Option<u64>,
+}
+
+impl CoreTracker {
+    /// A fresh, healthy tracker for core `core`.
+    pub fn new(core: u32) -> Self {
+        Self {
+            core,
+            score: HealthScore::new(),
+            state: CoreState::Healthy,
+            fail_streak: 0,
+            quarantine_cycles: 0,
+            probation_passes: 0,
+            quarantined_at: None,
+        }
+    }
+
+    /// The core index this tracker watches.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+
+    /// The current state.
+    pub fn state(&self) -> CoreState {
+        self.state
+    }
+
+    /// The current health score in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        self.score.value()
+    }
+
+    /// Cycle at which the core most recently entered quarantine.
+    pub fn quarantined_at(&self) -> Option<u64> {
+        self.quarantined_at
+    }
+
+    /// Folds in-band evidence (ABFT repairs, guard trips, ECC, CRC) into
+    /// the score. Evidence alone never *enters* quarantine — that
+    /// decision is made at probe time, where the state machine can pair
+    /// the score with a definitive known-answer result — but it drags the
+    /// score down so the next probe cycle sees it.
+    pub fn note_evidence(&mut self, ev: Evidence, n: u64) {
+        self.score.apply(ev, n);
+    }
+
+    /// Feeds one probe outcome through the state machine. Returns the
+    /// transition if the state changed.
+    pub fn observe_probe(
+        &mut self,
+        cycle: u64,
+        passed: bool,
+        cfg: &HealthConfig,
+    ) -> Option<HealthEvent> {
+        if passed {
+            self.fail_streak = 0;
+            self.score.recover(cfg.recovery);
+        } else {
+            self.fail_streak += 1;
+            self.score.apply(Evidence::ProbeFail, 1);
+        }
+        let from = self.state;
+        let to = match self.state {
+            CoreState::Healthy | CoreState::Suspect => {
+                if self.fail_streak >= cfg.fail_streak
+                    || self.score.value() < cfg.quarantine_enter
+                {
+                    CoreState::Quarantined
+                } else if self.score.value() < cfg.suspect_enter {
+                    CoreState::Suspect
+                } else if from == CoreState::Suspect && self.score.value() >= cfg.resume_score {
+                    CoreState::Healthy
+                } else {
+                    from
+                }
+            }
+            CoreState::Quarantined => {
+                self.quarantine_cycles += 1;
+                if !passed {
+                    // A failing quarantined core restarts its cooldown:
+                    // probation only begins after a clean stretch.
+                    self.quarantine_cycles = 0;
+                    CoreState::Quarantined
+                } else if self.quarantine_cycles >= cfg.min_quarantine_probes {
+                    CoreState::Probation
+                } else {
+                    CoreState::Quarantined
+                }
+            }
+            CoreState::Probation => {
+                if !passed {
+                    CoreState::Quarantined
+                } else {
+                    self.probation_passes += 1;
+                    if self.probation_passes >= cfg.probation_probes {
+                        CoreState::Healthy
+                    } else {
+                        CoreState::Probation
+                    }
+                }
+            }
+        };
+        if to == from {
+            return None;
+        }
+        match to {
+            CoreState::Quarantined => {
+                self.quarantine_cycles = 0;
+                self.probation_passes = 0;
+                self.quarantined_at = Some(cycle);
+            }
+            CoreState::Probation => self.probation_passes = 0,
+            CoreState::Healthy if from == CoreState::Probation => {
+                // Reinstated: lift the score into the hysteresis-safe
+                // band so one routine SEC event cannot re-demote it.
+                self.score.raise_to(cfg.resume_score);
+                self.fail_streak = 0;
+                self.quarantined_at = None;
+            }
+            _ => {}
+        }
+        self.state = to;
+        Some(HealthEvent {
+            cycle,
+            core: self.core,
+            from,
+            to,
+            score_milli: self.score.milli(),
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig::default()
+    }
+
+    #[test]
+    fn fail_streak_quarantines_and_probation_reinstates() {
+        let cfg = cfg();
+        let mut t = CoreTracker::new(3);
+        let mut cycle = 0u64;
+        // Two consecutive failures hit the streak threshold.
+        assert!(t.observe_probe(cycle, false, &cfg).is_none() || t.state() == CoreState::Suspect);
+        cycle += 1;
+        let ev = t.observe_probe(cycle, false, &cfg).expect("transition");
+        assert_eq!(ev.to, CoreState::Quarantined);
+        assert_eq!(t.quarantined_at(), Some(cycle));
+        // Cooldown: min_quarantine_probes clean cycles before probation.
+        let mut state = t.state();
+        for _ in 0..cfg.min_quarantine_probes {
+            cycle += 1;
+            if let Some(e) = t.observe_probe(cycle, true, &cfg) {
+                state = e.to;
+            }
+        }
+        assert_eq!(state, CoreState::Probation);
+        // Probation: N consecutive passes reinstate.
+        for _ in 0..cfg.probation_probes {
+            cycle += 1;
+            if let Some(e) = t.observe_probe(cycle, true, &cfg) {
+                state = e.to;
+            }
+        }
+        assert_eq!(state, CoreState::Healthy);
+        assert!(t.score() >= cfg.resume_score);
+        assert_eq!(t.quarantined_at(), None);
+    }
+
+    #[test]
+    fn probation_failure_restarts_cooldown() {
+        let cfg = cfg();
+        let mut t = CoreTracker::new(0);
+        let mut cycle = 0;
+        for _ in 0..cfg.fail_streak {
+            t.observe_probe(cycle, false, &cfg);
+            cycle += 1;
+        }
+        for _ in 0..cfg.min_quarantine_probes {
+            t.observe_probe(cycle, true, &cfg);
+            cycle += 1;
+        }
+        assert_eq!(t.state(), CoreState::Probation);
+        let ev = t.observe_probe(cycle, false, &cfg).expect("demote");
+        assert_eq!(ev.to, CoreState::Quarantined);
+        cycle += 1;
+        // One clean cycle is not enough to re-enter probation.
+        assert!(t.observe_probe(cycle, true, &cfg).is_none());
+        assert_eq!(t.state(), CoreState::Quarantined);
+    }
+
+    #[test]
+    fn evidence_alone_marks_suspect_only_at_probe_time() {
+        let cfg = cfg();
+        let mut t = CoreTracker::new(1);
+        t.note_evidence(Evidence::EccDed, 3);
+        assert_eq!(t.state(), CoreState::Healthy, "evidence defers to probes");
+        let ev = t.observe_probe(0, true, &cfg).expect("suspect");
+        assert_eq!(ev.to, CoreState::Suspect);
+        // Clean probes climb back above resume_score eventually.
+        let mut last = CoreState::Suspect;
+        for cycle in 1..=60 {
+            if let Some(e) = t.observe_probe(cycle, true, &cfg) {
+                last = e.to;
+            }
+        }
+        assert_eq!(last, CoreState::Healthy);
+    }
+}

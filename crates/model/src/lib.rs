@@ -52,7 +52,8 @@ pub use latency::{LatencyEntry, LatencyTable, SERVING_PRECISIONS};
 pub use protection::{protection_tax, ProtectionTax};
 pub use report::{layer_reports, LayerReport};
 pub use scaling::{
-    degraded_throughput, elastic_training_curve, inference_core_scaling, training_chip_scaling,
+    degraded_throughput, elastic_training_curve, inference_core_scaling, quarantine_retention,
+    training_chip_scaling,
     DegradedPoint, ElasticPoint, ScalePoint,
 };
 pub use throttle::{throttling_study, ThrottleStudy};

@@ -88,6 +88,23 @@ pub fn degraded_throughput(
     points
 }
 
+/// Analytic goodput-retention floor after quarantining `quarantined` of
+/// `world` cores: `(world − k) / world`, the linear capacity law of the
+/// column remap (every output column is an independent accumulation, so
+/// losing a core removes exactly its share of the compute and nothing
+/// else — memory bandwidth is not on a core).
+///
+/// `health_sweep` (E24) hard-asserts measured post-quarantine goodput
+/// stays at or above this curve: the health layer may only cost the
+/// capacity of the cores it removed, never more. Returns 0.0 when every
+/// core is quarantined and 1.0 for `world == 0` (nothing to lose).
+pub fn quarantine_retention(world: u32, quarantined: u32) -> f64 {
+    if world == 0 {
+        return 1.0;
+    }
+    f64::from(world.saturating_sub(quarantined)) / f64::from(world)
+}
+
 /// One point of an elastic N-chip training curve: the system running on
 /// `survivors` of its `world` chips after node losses.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -164,6 +181,15 @@ pub fn training_chip_scaling(
 mod tests {
     use super::*;
     use rapid_workloads::suite::benchmark;
+
+    #[test]
+    fn quarantine_retention_is_the_linear_capacity_law() {
+        assert_eq!(quarantine_retention(4, 0), 1.0);
+        assert_eq!(quarantine_retention(4, 1), 0.75);
+        assert_eq!(quarantine_retention(4, 4), 0.0);
+        assert_eq!(quarantine_retention(4, 9), 0.0, "over-quarantine saturates");
+        assert_eq!(quarantine_retention(0, 3), 1.0, "empty world loses nothing");
+    }
 
     #[test]
     fn compute_heavy_nets_scale_to_32_cores() {

@@ -22,6 +22,7 @@
 //! | [`recover`] | `rapid-recover` | end-to-end recovery: checksummed checkpoints, loss-scale rollback, redundant-execution training |
 //! | [`serve`] | `rapid-serve` | overload-hardened serving runtime: admission control, deadline propagation, precision-tiered shedding, circuit breaking |
 //! | [`telemetry`] | `rapid-telemetry` | unified metrics registry, Chrome-trace cycle tracer, bench JSON schemas |
+//! | [`health`] | `rapid-health` | online core health: known-answer self-test probes, decaying scores, mercurial-core quarantine |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use rapid_arch as arch;
 pub use rapid_compiler as compiler;
 pub use rapid_fault as fault;
+pub use rapid_health as health;
 pub use rapid_model as model;
 pub use rapid_numerics as numerics;
 pub use rapid_quant as quant;

@@ -211,6 +211,53 @@ pub enum ElasticEvent {
         /// Members remaining after the splice.
         survivors: u32,
     },
+    /// A member's chip health fell below the fleet floor; it was demoted
+    /// at the barrier instead of waiting for it to crash mid-exchange.
+    HealthDemoted {
+        /// The demoted node's rank.
+        node: u32,
+        /// Its chip health at demotion, in milli-units (0..=1000) —
+        /// integer so same-seed event traces compare with `==`.
+        score_milli: u32,
+    },
+}
+
+/// Proactive health demotion at a barrier: splices out every member
+/// whose chip-health score (as reported by each node's
+/// `ChipHealthMonitor::chip_health`) fell below `floor`, bumping the
+/// epoch once. This is the elastic ring's half of the mercurial-core
+/// story: a chip accumulating quarantined cores leaves the training ring
+/// *before* it corrupts a gradient exchange or stalls it, rather than
+/// waiting for the crash/hang detectors to fire mid-allreduce.
+///
+/// Call between exchanges (at the step barrier, where no flits are in
+/// flight). `chip_health` pairs node ranks with their current scores;
+/// non-members and healthy nodes are ignored. Returns the decision
+/// events in rank order — same scores, same trace.
+pub fn demote_unhealthy(
+    membership: &mut Membership,
+    chip_health: &[(u32, f64)],
+    floor: f64,
+) -> Vec<ElasticEvent> {
+    let mut events = Vec::new();
+    let mut demoted = Vec::new();
+    for &(node, score) in chip_health {
+        if membership.is_member(node) && score < floor {
+            demoted.push(node);
+            events.push(ElasticEvent::HealthDemoted {
+                node,
+                score_milli: (score.clamp(0.0, 1.0) * 1000.0).round() as u32,
+            });
+        }
+    }
+    if !demoted.is_empty() {
+        let epoch = membership.splice(&demoted);
+        events.push(ElasticEvent::Spliced {
+            epoch,
+            survivors: membership.members().len() as u32,
+        });
+    }
+    events
 }
 
 /// Observability report of one elastic exchange.
@@ -621,6 +668,35 @@ mod tests {
             node_fault_budget: budget,
             ..FaultConfig::default()
         })
+    }
+
+    #[test]
+    fn health_demotion_splices_at_the_barrier_and_the_ring_continues() {
+        let mut mem = Membership::new(4).unwrap();
+        // Node 2's chip health collapsed below the fleet floor.
+        let scores = [(0, 0.98), (1, 0.95), (2, 0.31), (3, 1.0)];
+        let events = demote_unhealthy(&mut mem, &scores, 0.5);
+        assert_eq!(
+            events,
+            vec![
+                ElasticEvent::HealthDemoted { node: 2, score_milli: 310 },
+                ElasticEvent::Spliced { epoch: 1, survivors: 3 },
+            ]
+        );
+        assert_eq!(mem.members(), &[0, 1, 3]);
+        // The next exchange proceeds over the survivors.
+        let inputs = gradients(4, 1024);
+        let cfg = ElasticConfig::rapid_training(4, true);
+        let out = elastic_allreduce(&inputs, &mut mem, &cfg, None).unwrap();
+        assert_eq!(out.contributors, vec![0, 1, 3]);
+        assert_eq!(out.epoch, 1);
+        // Healthy fleets and non-members are untouched; no epoch churn.
+        let none = demote_unhealthy(&mut mem, &[(0, 0.9), (2, 0.1), (7, 0.0)], 0.5);
+        assert!(none.is_empty(), "node 2 already gone, node 7 unknown");
+        assert_eq!(mem.epoch(), 1);
+        // Same scores produce the same trace (determinism contract).
+        let mut m2 = Membership::new(4).unwrap();
+        assert_eq!(demote_unhealthy(&mut m2, &scores, 0.5), events);
     }
 
     #[test]

@@ -48,8 +48,8 @@ pub mod sim;
 pub use allreduce::{analytic_allreduce_cycles, simulate_allreduce, AllReduceConfig, AllReduceResult};
 pub use crc::{crc8, crc8_f32, CRC8_POLY};
 pub use elastic::{
-    elastic_allreduce, elastic_allreduce_instrumented, ElasticConfig, ElasticError, ElasticEvent,
-    ElasticHealth, ElasticOutcome, HeartbeatDetector, Membership,
+    demote_unhealthy, elastic_allreduce, elastic_allreduce_instrumented, ElasticConfig,
+    ElasticError, ElasticEvent, ElasticHealth, ElasticOutcome, HeartbeatDetector, Membership,
 };
 pub use reliable::{
     reliable_allreduce, reliable_allreduce_instrumented, ReliableConfig, ReliableError, RingHealth,

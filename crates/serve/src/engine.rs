@@ -219,6 +219,11 @@ pub struct ServeEngine {
     span_states: BTreeMap<RequestId, SpanState>,
     slo_deadline: Option<SloMonitor>,
     slo_shed: Option<SloMonitor>,
+    /// Fraction of nominal chip capacity currently in service (1.0 =
+    /// full strength). Lowered by the health layer when cores are
+    /// quarantined; scales the admission backlog estimate and the shed
+    /// controller's occupancy signal.
+    capacity_derate: f64,
 }
 
 impl ServeEngine {
@@ -249,7 +254,25 @@ impl ServeEngine {
             span_states: BTreeMap::new(),
             slo_deadline,
             slo_shed,
+            capacity_derate: 1.0,
         }
+    }
+
+    /// Derates effective capacity to `factor` of nominal (clamped to
+    /// `(0, 1]`). Call when the health layer quarantines or reinstates
+    /// cores: with `factor < 1` the admission ETA divides backlog across
+    /// proportionally fewer workers (rejecting deadlines the weakened
+    /// chip cannot meet) and the shed controller sees proportionally
+    /// higher occupancy (its watermarks shift down), so load sheds
+    /// *before* the derated chip saturates rather than after.
+    pub fn set_capacity_derate(&mut self, factor: f64) {
+        self.capacity_derate = if factor > 0.0 { factor.min(1.0) } else { f64::MIN_POSITIVE };
+        self.reg.set_gauge("serve.capacity_derate", self.capacity_derate);
+    }
+
+    /// The current capacity derate factor (1.0 = full strength).
+    pub fn capacity_derate(&self) -> f64 {
+        self.capacity_derate
     }
 
     /// Opens the root span for a freshly submitted request (span
@@ -329,7 +352,8 @@ impl ServeEngine {
                 .table
                 .estimate_us(&req.model, req.tier.precision(), 1)
                 .unwrap_or(1_000.0);
-            let backlog = self.queued_work_us / self.cfg.workers.max(1) as f64;
+            let backlog =
+                self.queued_work_us / (self.cfg.workers.max(1) as f64 * self.capacity_derate);
             let eta = now_us as f64
                 + self.cfg.admission_slack * (backlog + self.cfg.batch_window_us as f64 + own);
             if eta > req.deadline_us as f64 {
@@ -351,7 +375,8 @@ impl ServeEngine {
     /// deadline propagation) a sweep dropping expired queued requests.
     /// Call once per scheduling round.
     pub fn tick(&mut self, now_us: u64) {
-        let occupancy = self.queued_total as f64 / self.cfg.queue_cap.max(1) as f64;
+        let occupancy =
+            self.queued_total as f64 / (self.cfg.queue_cap.max(1) as f64 * self.capacity_derate);
         if let Some(s) = &mut self.shed {
             let level = s.observe(occupancy);
             self.reg.set_gauge("serve.shed_level", f64::from(level));
@@ -877,6 +902,54 @@ mod tests {
         let c = e.counters();
         assert_eq!(c.rejected, 1);
         assert_eq!(e.registry().counter(names::REJECTED_INFEASIBLE), 1);
+    }
+
+    #[test]
+    fn capacity_derate_shifts_admission_and_shed_watermarks() {
+        // Backlog the engine, then compare a tight-deadline admission at
+        // full strength vs derated to half capacity: the same request is
+        // feasible at 1.0 and infeasible at 0.5 because the ETA divides
+        // the backlog across proportionally fewer workers.
+        let feasible_when = |derate: f64| {
+            let mut e = ServeEngine::new(ServeConfig::default(), table());
+            e.set_capacity_derate(derate);
+            for _ in 0..64 {
+                let r = req(&mut e, 0, 1_000_000);
+                e.submit(r, 0);
+            }
+            let probe = req(&mut e, 0, 4_000);
+            e.submit(probe, 0)
+        };
+        assert!(feasible_when(1.0), "full-strength chip admits the probe");
+        assert!(!feasible_when(0.5), "derated chip must reject it");
+        // The shed controller sees occupancy scaled by the derate: the
+        // same queue depth that is calm at full strength escalates the
+        // shed level once half the capacity is quarantined.
+        let shed_level_when = |derate: f64| {
+            let cfg = ServeConfig { queue_cap: 16, admission: false, ..ServeConfig::default() };
+            let mut e = ServeEngine::new(cfg, table());
+            e.set_capacity_derate(derate);
+            for _ in 0..8 {
+                let r = req(&mut e, 0, 1_000_000);
+                e.submit(r, 0);
+            }
+            for t in 0..20 {
+                e.tick(t * 100);
+            }
+            e.registry().gauge("serve.shed_level").unwrap_or(0.0)
+        };
+        assert!(
+            shed_level_when(0.5) > shed_level_when(1.0),
+            "derating must raise the shed level at equal queue depth"
+        );
+        // Reinstatement restores the factor (and clamps bad inputs).
+        let mut e = ServeEngine::new(ServeConfig::default(), table());
+        e.set_capacity_derate(0.75);
+        assert!((e.capacity_derate() - 0.75).abs() < 1e-12);
+        e.set_capacity_derate(1.0);
+        assert!((e.capacity_derate() - 1.0).abs() < 1e-12);
+        e.set_capacity_derate(7.0);
+        assert!((e.capacity_derate() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -125,6 +125,36 @@ pub fn try_run_chip_gemm_degraded(
     try_run_chip_gemm_telemetry(job, core_cfg, n_cores, failed_mask, ring_faults, None)
 }
 
+/// [`try_run_chip_gemm_degraded`] driven by a live health
+/// [`CoreMap`](rapid_health::CoreMap) instead of a static mask — the
+/// dynamic generalization the online health monitor maintains. Consult the
+/// map between batches: quarantined cores take no work (their column
+/// partitions remap across the in-service cores, values unchanged), and a
+/// reinstated core resumes work on the next call with no other state to
+/// update. `map.epoch()` is the cheap staleness check for callers caching
+/// anything derived from the layout.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] when the map has excluded every core;
+/// otherwise the same contract as [`try_run_chip_gemm`].
+pub fn try_run_chip_gemm_mapped(
+    job: &ChipGemmJob,
+    core_cfg: CoreConfig,
+    map: &rapid_health::CoreMap,
+    ring_faults: Option<FaultPlan>,
+    tele: Option<&mut Telemetry>,
+) -> Result<ChipSimResult, SimError> {
+    try_run_chip_gemm_telemetry(
+        job,
+        core_cfg,
+        map.cores() as usize,
+        map.failed_mask(),
+        ring_faults,
+        tele,
+    )
+}
+
 /// [`try_run_chip_gemm_degraded`] with an optional telemetry bundle. With
 /// `tele = Some`, distribution/compute/total cycle counters and ring
 /// transport statistics accumulate under `chip.*`, every core contributes
@@ -357,6 +387,37 @@ mod tests {
         // All cores dead is a configuration error, not a panic.
         assert!(matches!(
             try_run_chip_gemm_degraded(&j, CoreConfig::default(), 4, 0b1111, None),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn mapped_chip_follows_quarantine_and_reinstatement() {
+        use rapid_health::CoreMap;
+        let j = job(8, 128, 256, Precision::Fp16);
+        let healthy = run_chip_gemm(&j, CoreConfig::default(), 4);
+        let mut map = CoreMap::new(4);
+        // Full-strength map is identical to the plain path.
+        let r = try_run_chip_gemm_mapped(&j, CoreConfig::default(), &map, None, None).unwrap();
+        assert_eq!(r.c, healthy.c);
+        assert_eq!(r.cores.len(), 4);
+        // Quarantining core 2 matches the static-degraded result exactly.
+        map.exclude(2);
+        let q = try_run_chip_gemm_mapped(&j, CoreConfig::default(), &map, None, None).unwrap();
+        let s = try_run_chip_gemm_degraded(&j, CoreConfig::default(), 4, 0b0100, None).unwrap();
+        assert_eq!(q.c, healthy.c, "remap must not change values");
+        assert_eq!(q.compute_cycles, s.compute_cycles);
+        assert_eq!(q.cores.len(), 3);
+        // Reinstatement restores full strength on the next batch.
+        map.restore(2);
+        let back = try_run_chip_gemm_mapped(&j, CoreConfig::default(), &map, None, None).unwrap();
+        assert_eq!(back.compute_cycles, healthy.compute_cycles);
+        // An empty map is a configuration error, not a panic.
+        for c in 0..4 {
+            map.exclude(c);
+        }
+        assert!(matches!(
+            try_run_chip_gemm_mapped(&j, CoreConfig::default(), &map, None, None),
             Err(SimError::InvalidConfig(_))
         ));
     }

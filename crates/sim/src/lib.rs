@@ -55,8 +55,9 @@ pub mod watchdog;
 
 pub use array::{ArrayJob, Datapath, MpeArray, TOKEN_BLOCK_FREE};
 pub use chip::{
-    run_chip_gemm, try_run_chip_gemm, try_run_chip_gemm_degraded, try_run_chip_gemm_telemetry,
-    try_run_chip_gemm_with, ChipGemmJob, ChipSimResult, SFU_TRACE_PID,
+    run_chip_gemm, try_run_chip_gemm, try_run_chip_gemm_degraded, try_run_chip_gemm_mapped,
+    try_run_chip_gemm_telemetry, try_run_chip_gemm_with, ChipGemmJob, ChipSimResult,
+    SFU_TRACE_PID,
 };
 pub use conv::{run_conv, try_run_conv, ConvJob, ConvSimResult};
 pub use error::{SeqSnapshot, SimError};

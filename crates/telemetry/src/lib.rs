@@ -37,6 +37,7 @@
 // unwrap/expect denial comes from [workspace.lints] in the root manifest.
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod json;
 pub mod openmetrics;
 pub mod registry;
@@ -46,6 +47,7 @@ pub mod slo;
 pub mod span;
 pub mod trace;
 
+pub use health::HealthCounters;
 pub use json::{Json, JsonError};
 pub use openmetrics::{metrics_path_from_env, validate as validate_openmetrics, METRICS_ENV};
 pub use registry::{Histogram, Metric, MetricsRegistry, HISTOGRAM_BUCKETS};

@@ -48,6 +48,23 @@ impl SloConfig {
         }
     }
 
+    /// Quarantine rule: one event per core per probe cycle, bad while the
+    /// core is out of service. 5% budget over probe-cycle-scale windows
+    /// (25 / 125 cycles at the 500 µs default period); fires at 4× fast
+    /// and 2× slow burn — i.e. ≥10–20% of core-cycles quarantined,
+    /// sustained — which a single mercurial core on a 4-core chip (25%)
+    /// trips promptly while transient Suspect dips do not.
+    pub fn quarantine_default() -> Self {
+        Self {
+            objective: 0.05,
+            fast_window_us: 12_500,
+            slow_window_us: 62_500,
+            fast_burn: 4.0,
+            slow_burn: 2.0,
+            min_events: 16,
+        }
+    }
+
     /// Shed-rate rule: 5% budget, same windows, fires at 8× fast and 4×
     /// slow burn (≥40% of traffic rejected or shed, sustained).
     pub fn shed_default() -> Self {

@@ -40,10 +40,21 @@
 #                                 schema validation of its record, and
 #                                 strict OpenMetrics validation of the
 #                                 dumped snapshot
-#   scripts/check.sh --all        every named gate in sequence (recovery,
-#                                 telemetry, protection, simd, serve,
-#                                 elastic, obs) without the full build/
-#                                 test/clippy preamble
+#   scripts/check.sh --health     health gate only: clippy on the health
+#                                 crate (unwrap/expect denied), the
+#                                 core-health proptests (no flapping,
+#                                 bit-identical when disabled, same-seed
+#                                 same-trace), a timed health_sweep smoke
+#                                 with --json, schema validation of its
+#                                 record, and the zero-silent-wrong grep
+#                                 contract
+#   scripts/check.sh --all        every named gate (recovery, telemetry,
+#                                 protection, simd, serve, elastic, obs,
+#                                 health) without the full build/test/
+#                                 clippy preamble. Gates keep running
+#                                 after a failure; a per-gate PASS/FAIL
+#                                 table prints at the end and the exit
+#                                 code is nonzero iff any gate failed
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -206,6 +217,33 @@ obs_gate() {
         || { echo "record is missing clean.slo.shed.alerts == 0"; exit 1; }
 }
 
+health_gate() {
+    echo "== cargo clippy on the health-touched crates (deny warnings) =="
+    cargo clippy -p rapid-health -p rapid-sim -p rapid-bench --all-targets -- -D warnings
+    echo "== core-health proptests (no flapping, bit-invisible when off, same-seed same-trace) =="
+    cargo test --release -p rapid --test health -q
+    echo "== health_sweep --smoke --json (hard 120s timeout; detection, quarantine, replay) =="
+    cargo build --release -p rapid-bench --bin health_sweep --bin telemetry_report
+    local out="target/health-gate"
+    rm -rf "$out" && mkdir -p "$out"
+    timeout 120 ./target/release/health_sweep --smoke --json "$out/health_sweep.json" \
+        | tee "$out/health_sweep.log"
+    echo "== telemetry_report --validate on the emitted record =="
+    # Wrap the single bench record as a one-element aggregate and validate
+    # both layers of the schema with the repo's own validator.
+    printf '{"schema":"rapid-bench-aggregate-v1","records":[%s]}' \
+        "$(cat "$out/health_sweep.json")" > "$out/aggregate.json"
+    ./target/release/telemetry_report "$out/aggregate.json" --validate
+    # The health contracts, straight off the record and the transcript:
+    # zero silent-wrong deliveries, and quarantine actually happened.
+    grep -q '"serve.silent_wrong":0' "$out/health_sweep.json" \
+        || { echo "record is missing serve.silent_wrong == 0"; exit 1; }
+    grep -q 'silent_wrong=0' "$out/health_sweep.log" \
+        || { echo "transcript is missing the silent_wrong=0 hard-assert line"; exit 1; }
+    grep -q '"health.quarantines"' "$out/health_sweep.json" \
+        || { echo "record is missing the health.quarantines counter"; exit 1; }
+}
+
 if [[ "${1:-}" == "--simd" ]]; then
     simd_gate
     echo "SIMD checks passed."
@@ -230,14 +268,38 @@ if [[ "${1:-}" == "--obs" ]]; then
     exit 0
 fi
 
+if [[ "${1:-}" == "--health" ]]; then
+    health_gate
+    echo "Health checks passed."
+    exit 0
+fi
+
 if [[ "${1:-}" == "--all" ]]; then
-    recovery_gate
-    telemetry_gate
-    protection_gate
-    simd_gate
-    serve_gate
-    elastic_gate
-    obs_gate
+    # Run every named gate in a child invocation so one failure cannot
+    # stop the rest (this script sets -e); then print a PASS/FAIL table
+    # and exit nonzero iff any gate failed.
+    gates=(--recovery --telemetry --protection --simd --serve --elastic --obs --health)
+    results=()
+    failed=0
+    for g in "${gates[@]}"; do
+        echo ""
+        echo "######## gate $g ########"
+        if bash "$0" "$g"; then
+            results+=("PASS")
+        else
+            results+=("FAIL")
+            failed=1
+        fi
+    done
+    echo ""
+    echo "gate summary:"
+    for i in "${!gates[@]}"; do
+        printf '  %-14s %s\n' "${gates[$i]#--}" "${results[$i]}"
+    done
+    if [[ "$failed" -ne 0 ]]; then
+        echo "One or more gates FAILED."
+        exit 1
+    fi
     echo "All named gates passed."
     exit 0
 fi
@@ -261,5 +323,6 @@ simd_gate
 serve_gate
 elastic_gate
 obs_gate
+health_gate
 
 echo "All checks passed."
